@@ -1,0 +1,17 @@
+"""Figure 3: exact path count vs. state multiplicity is log-log linear."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_multiplicity
+
+
+def test_fig3_multiplicity(benchmark):
+    result = run_once(benchmark, fig3_multiplicity)
+    print()
+    print(result.table())
+    for name, fit in result.fits.items():
+        assert len(fit.points) >= 3, f"{name}: too few calibration samples"
+        assert fit.c2 >= 0.0, f"{name}: path count must not shrink with multiplicity"
+        assert fit.r_squared >= 0.5, f"{name}: log-log relation should be roughly linear"
+    # At least one tool should show the strong linearity the paper plots.
+    assert max(f.r_squared for f in result.fits.values()) >= 0.9

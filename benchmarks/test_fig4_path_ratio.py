@@ -1,0 +1,17 @@
+"""Figure 4: DSM+QCE explores (orders of magnitude) more paths per budget."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_path_ratio
+
+
+def test_fig4_path_ratio(benchmark):
+    result = run_once(benchmark, fig4_path_ratio)
+    print()
+    print(result.table())
+    ratios = [r.ratio for r in result.rows]
+    assert ratios, "no tools measured"
+    wins = sum(1 for r in ratios if r >= 1.0)
+    # The paper reports wins on most tools (some regressions expected).
+    assert wins >= len(ratios) // 2, f"merging should win on most tools ({wins}/{len(ratios)})"
+    assert max(ratios) >= 10.0, "expect at least one order-of-magnitude win"

@@ -1,0 +1,23 @@
+"""Figure 5: SSM+QCE speedup grows with symbolic input size."""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import fig5_speedup_curve
+
+
+def test_fig5_speedup_curve(benchmark):
+    result = run_once(benchmark, fig5_speedup_curve)
+    print()
+    print(result.table())
+    by_tool = defaultdict(list)
+    for row in result.rows:
+        by_tool[row.program].append(row)
+    # link is the paper's largest-speedup tool: growth with input size.
+    link = sorted(by_tool["link"], key=lambda r: r.sym_bytes)
+    assert link[-1].speedup > link[0].speedup, "link speedup should grow with input"
+    assert link[-1].speedup >= 5.0, "link should show a large speedup at the top size"
+    # basename is the paper's no-speedup tool: stays within a small factor.
+    basename = by_tool["basename"]
+    assert all(r.speedup < 5.0 for r in basename), "basename should show modest speedup"

@@ -1,0 +1,19 @@
+"""Figure 6: corpus-wide scatter of SSM+QCE vs. plain completion cost."""
+
+from conftest import run_once
+
+from repro.experiments import fig6_scatter
+
+
+def test_fig6_scatter(benchmark):
+    result = run_once(benchmark, fig6_scatter)
+    print()
+    print(result.table())
+    assert len(result.rows) >= 20
+    # Most instances should sit on or below the diagonal (speedup side).
+    assert result.speedup_fraction() >= 0.5
+    # Timeouts of the plain engine are lower bounds on speedup, like the
+    # paper's triangles; merged runs should time out no more often.
+    plain_timeouts = sum(r.plain_timed_out for r in result.rows)
+    ssm_timeouts = sum(r.ssm_timed_out for r in result.rows)
+    assert ssm_timeouts <= plain_timeouts

@@ -1,0 +1,25 @@
+"""Figure 7: the QCE threshold alpha has a sweet spot between the extremes."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_alpha_sweep
+from repro.experiments.figures import NO_MERGE
+
+
+def test_fig7_alpha_sweep(benchmark):
+    result = run_once(benchmark, fig7_alpha_sweep)
+    print()
+    print(result.table())
+    for program, curve in result.curves.items():
+        costs = {label: cost for label, cost, _ in curve}
+        completed = {label: done for label, _, done in curve}
+        mid_labels = [label for label, _, _ in curve if label not in (NO_MERGE, "inf")]
+        best_mid = min(costs[label] for label in mid_labels)
+        # An intermediate alpha should never lose to merge-everything...
+        assert best_mid <= costs["inf"], f"{program}: QCE worse than merge-all"
+        # ...and should beat (or match) no merging wherever plain completed.
+        if completed[NO_MERGE]:
+            assert best_mid <= costs[NO_MERGE] * 1.5, f"{program}: QCE should be competitive"
+    # link is the headline: no-merge must be dramatically worse there.
+    link = {label: cost for label, cost, _ in result.curves["link"]}
+    assert link[NO_MERGE] > 5 * min(v for k, v in link.items() if k != NO_MERGE)

@@ -1,0 +1,19 @@
+"""Figure 8: DSM preserves the driving heuristic's coverage; SSM does not."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_coverage
+
+
+def test_fig8_coverage(benchmark):
+    result = run_once(benchmark, fig8_coverage)
+    print()
+    print(result.table())
+    ssm_mean, dsm_mean = result.mean_deltas()
+    # DSM roughly matches the driving heuristic (paper: "roughly matches").
+    assert dsm_mean >= -2.0, f"DSM should track plain coverage (mean {dsm_mean:+.1f}pp)"
+    # SSM must not beat DSM on average (paper: consistently worse).
+    assert ssm_mean <= dsm_mean + 0.5
+    worst_dsm = min(r.dsm_delta for r in result.rows)
+    worst_ssm = min(r.ssm_delta for r in result.rows)
+    assert worst_ssm <= worst_dsm + 1e-9, "SSM's worst case should be at least as bad"

@@ -1,0 +1,21 @@
+"""Figure 9 + §5.5 stats: DSM ~ SSM in exhaustive mode; fast-forwards merge."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_dsm_vs_ssm
+
+
+def test_fig9_dsm_vs_ssm(benchmark):
+    result = run_once(benchmark, fig9_dsm_vs_ssm)
+    print()
+    print(result.table())
+    print(f"fast-forward merge success: {100 * result.ff_success_rate():.0f}% (paper: 69%)")
+    # Median overhead should be modest (paper: 15%).
+    assert result.median_overhead() <= 1.5
+    # The techniques must explore the same merged space: identical merges
+    # are not guaranteed, but query counts should be comparable throughout.
+    for row in result.rows:
+        assert row.cost_dsm <= 2 * row.cost_ssm + 50, f"{row.program}: DSM far off SSM"
+    # §5.5: a healthy majority of fast-forwarded states end up merged.
+    if sum(r.ff_states for r in result.rows) >= 5:
+        assert result.ff_success_rate() >= 0.5

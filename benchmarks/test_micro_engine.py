@@ -1,0 +1,45 @@
+"""Micro-benchmarks of the engine: stepping, merging, QCE analysis."""
+
+from repro.engine import Engine, EngineConfig
+from repro.env import ArgvSpec
+from repro.lang import compile_program
+from repro.programs.registry import get_program
+from repro.qce import QceAnalysis, QceParams
+
+
+def test_engine_step_throughput(benchmark):
+    module = get_program("wc").compile()
+    spec = ArgvSpec(n_args=2, arg_len=2)
+
+    def run():
+        engine = Engine(module, spec, EngineConfig(merging="none", similarity="never",
+                                                   strategy="dfs", generate_tests=False,
+                                                   max_steps=800))
+        stats = engine.run()
+        return stats.blocks_executed
+
+    assert benchmark(run) > 0
+
+
+def test_qce_analysis_cost(benchmark):
+    module = get_program("tsort").compile()
+
+    def run():
+        return QceAnalysis(module, QceParams())
+
+    analysis = benchmark(run)
+    assert analysis.functions["main"].qt
+
+
+def test_merging_run_end_to_end(benchmark):
+    module = get_program("echo").compile()
+    spec = ArgvSpec(n_args=2, arg_len=2)
+
+    def run():
+        engine = Engine(module, spec, EngineConfig(merging="static", similarity="qce",
+                                                   strategy="topological",
+                                                   generate_tests=False))
+        return engine.run()
+
+    stats = benchmark(run)
+    assert stats.merges > 0

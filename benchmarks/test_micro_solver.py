@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the solver substrate (the STP stand-in)."""
+
+import random
+
+from repro.expr import ops
+from repro.solver import CDCLSolver, SatResult, SolverChain, check_sat
+
+
+def _pigeonhole_clauses(holes: int):
+    """PHP(holes+1, holes): classically hard UNSAT family for resolution."""
+    pigeons = holes + 1
+    solver = CDCLSolver()
+    var = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        solver.add_clause([var[p][h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var[p1][h], -var[p2][h]])
+    return solver
+
+
+def test_cdcl_pigeonhole(benchmark):
+    def run():
+        solver = _pigeonhole_clauses(5)
+        return solver.solve()
+
+    assert benchmark(run) == SatResult.UNSAT
+
+
+def test_cdcl_random_3sat(benchmark):
+    rng = random.Random(42)
+    n_vars, n_clauses = 60, 240
+
+    def run():
+        solver = CDCLSolver()
+        variables = [solver.new_var() for _ in range(n_vars)]
+        local = random.Random(7)
+        for _ in range(n_clauses):
+            clause = [local.choice(variables) * local.choice((1, -1)) for _ in range(3)]
+            solver.add_clause(clause)
+        return solver.solve()
+
+    benchmark(run)
+    assert rng  # silence lint; determinism via local rng
+
+
+def test_bitblast_mul_equation(benchmark):
+    x = ops.bv_var("x", 8)
+    y = ops.bv_var("y", 8)
+    goal = [ops.eq(ops.mul(x, y), ops.bv(221, 8)), ops.ult(ops.bv(1, 8), x), ops.ult(x, y)]
+
+    def run():
+        sat, model, _ = check_sat(goal)
+        return sat, model
+
+    sat, model = benchmark(run)
+    assert sat
+
+
+def test_solver_chain_cached_requeries(benchmark):
+    x = ops.bv_var("x", 8)
+    constraints = [ops.ult(x, ops.bv(100, 8)), ops.ult(ops.bv(50, 8), x)]
+
+    def run():
+        chain = SolverChain()
+        for _ in range(200):
+            assert chain.check(constraints).is_sat
+        return chain.stats.queries
+
+    assert benchmark(run) == 200

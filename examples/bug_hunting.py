@@ -1,0 +1,75 @@
+"""Bug hunting: find assertion violations and out-of-bounds accesses.
+
+A small 'record parser' with two planted bugs:
+
+* an off-by-one buffer write for long field names, and
+* an assertion that fails when the value digits sum to 13.
+
+Symbolic execution finds concrete argv inputs triggering both, and the
+script replays each finding on the concrete interpreter to confirm it.
+
+    python examples/bug_hunting.py
+"""
+
+from repro.engine import Engine, EngineConfig
+from repro.env import ArgvSpec
+from repro.lang import AssertionFailure, OutOfBounds, compile_program, run_concrete
+
+PARSER = """
+int main(int argc, char argv[][]) {
+    if (argc < 2) return 1;
+    char name[4];
+    int name_len = 0;
+    int i = 0;
+    // copy the field name (up to ':') into a fixed buffer -- the bound
+    // check is off by one: i <= 4 admits a fifth byte.
+    while (argv[1][i] && argv[1][i] != ':' && i <= 4) {
+        name[i] = argv[1][i];
+        i++;
+    }
+    name_len = i;
+    int digit_sum = 0;
+    if (argv[1][i] == ':') {
+        i++;
+        while (argv[1][i]) {
+            if (!isdigit(argv[1][i])) return 2;
+            digit_sum = digit_sum + (argv[1][i] - '0');
+            i++;
+        }
+    }
+    assert(digit_sum != 13);  // "unlucky record" invariant, clearly wrong
+    return name_len;
+}
+"""
+
+
+def main() -> None:
+    module = compile_program(PARSER, name="parser")
+    spec = ArgvSpec(n_args=1, arg_len=6)
+    engine = Engine(
+        module,
+        spec,
+        EngineConfig(merging="dynamic", similarity="qce", strategy="coverage"),
+    )
+    stats = engine.run()
+    print(f"explored {stats.paths_completed} paths, "
+          f"{stats.errors_found} error(s) found\n")
+
+    for case in engine.tests.errors():
+        arg = case.argv[1].decode("latin1")
+        print(f"{case.kind:>6} @ line {case.line}: argv[1] = {arg!r}")
+        try:
+            run_concrete(module, list(case.argv))
+            print("        (replay did not fault?)")
+        except AssertionFailure as exc:
+            print(f"        replay confirms: {exc}")
+        except OutOfBounds as exc:
+            print(f"        replay confirms: {exc}")
+
+    assert any(c.kind == "bounds" for c in engine.tests.errors()), "missed the overflow"
+    assert any(c.kind == "assert" for c in engine.tests.errors()), "missed the assert"
+    print("\nboth planted bugs found and confirmed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""High-coverage test-suite generation for a corpus tool.
+
+Uses DSM+QCE to enumerate the behaviors of `nice` and emits a concrete
+test suite: one argv per path plus the expected output and exit code,
+validated against the reference interpreter — i.e., KLEE's headline use
+case (automated test generation) on our substrate.
+
+    python examples/test_generation.py [tool]
+"""
+
+import sys
+
+from repro.engine import Engine, EngineConfig
+from repro.env import ArgvSpec
+from repro.lang import run_concrete
+from repro.programs.registry import get_program
+
+
+def main() -> None:
+    tool = sys.argv[1] if len(sys.argv) > 1 else "nice"
+    info = get_program(tool)
+    module = info.compile()
+    spec = ArgvSpec(n_args=info.default_n, arg_len=info.default_l)
+    engine = Engine(
+        module,
+        spec,
+        EngineConfig(merging="dynamic", similarity="qce", strategy="coverage"),
+    )
+    stats = engine.run()
+
+    print(f"# generated test suite for {tool!r}")
+    print(f"# {stats.paths_completed} paths represented, "
+          f"{len(engine.tests.cases)} concrete tests, "
+          f"{100 * engine.coverage.statement_coverage():.0f}% statement coverage\n")
+
+    seen_outputs = set()
+    for k, case in enumerate(engine.tests.paths()):
+        replay = run_concrete(module, list(case.argv))
+        shown = " ".join(repr(a.decode("latin1")) for a in case.argv[1:])
+        print(f"test_{k:03d}: argv=[{shown}]")
+        print(f"    expect exit={replay.exit_code} output={replay.output!r}")
+        seen_outputs.add((replay.exit_code, replay.output))
+    print(f"\n{len(seen_outputs)} distinct observable behaviors covered")
+
+
+if __name__ == "__main__":
+    main()

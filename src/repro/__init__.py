@@ -1,0 +1,34 @@
+"""repro — reproduction of "Efficient State Merging in Symbolic Execution"
+(Kuznetsov, Kinder, Bucur, Candea; PLDI 2012).
+
+Top-level convenience re-exports; see README.md for the tour.
+
+    >>> from repro import run_symbolic
+    >>> result = run_symbolic("echo", merging="dynamic", similarity="qce",
+    ...                       strategy="coverage")
+    >>> result.stats.merges > 0
+    True
+"""
+
+from .engine import Engine, EngineConfig
+from .env.argv import ArgvSpec
+from .env.runner import SymbolicRunResult, run_symbolic, run_symbolic_module
+from .lang import compile_program, run_concrete
+from .qce import QceAnalysis, QceParams, analyze_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArgvSpec",
+    "Engine",
+    "EngineConfig",
+    "QceAnalysis",
+    "QceParams",
+    "SymbolicRunResult",
+    "analyze_module",
+    "compile_program",
+    "run_concrete",
+    "run_symbolic",
+    "run_symbolic_module",
+    "__version__",
+]

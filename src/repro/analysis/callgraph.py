@@ -1,0 +1,99 @@
+"""Call graph construction and bottom-up ordering.
+
+QCE computes per-function local query counts compositionally (paper §3.2:
+"an LLVM per-function bottom-up call graph traversal with bounded
+recursion"); this module provides the traversal order.
+"""
+
+from __future__ import annotations
+
+from ..lang.cfg import ICall, Module
+
+
+def call_graph(module: Module) -> dict[str, set[str]]:
+    """Map each function to the set of functions it calls."""
+    graph: dict[str, set[str]] = {name: set() for name in module.functions}
+    for name, fn in module.functions.items():
+        for block in fn.blocks.values():
+            for instr in block.instrs:
+                if isinstance(instr, ICall) and instr.func in module.functions:
+                    graph[name].add(instr.func)
+    return graph
+
+
+def bottom_up_order(module: Module) -> list[str]:
+    """Functions ordered callees-first (Tarjan SCCs, reverse topological).
+
+    Members of a recursive SCC appear together in arbitrary internal order;
+    QCE treats calls within an unfinished SCC as contributing zero queries
+    (the paper's "bounded recursion").
+    """
+    graph = call_graph(module)
+    index_counter = 0
+    stack: list[str] = []
+    lowlink: dict[str, int] = {}
+    index: dict[str, int] = {}
+    on_stack: set[str] = set()
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        nonlocal index_counter
+        work = [(v, iter(sorted(graph[v])))]
+        index[v] = lowlink[v] = index_counter
+        index_counter += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            for w in succs:
+                if w not in index:
+                    index[w] = lowlink[w] = index_counter
+                    index_counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.append(w)
+                        if w == node:
+                            break
+                    sccs.append(scc)
+
+    for name in sorted(module.functions):
+        if name not in index:
+            strongconnect(name)
+    # Tarjan emits SCCs in reverse topological order: callees before callers.
+    return [name for scc in sccs for name in scc]
+
+
+def is_recursive(module: Module) -> set[str]:
+    """Functions participating in recursion (self- or mutual)."""
+    graph = call_graph(module)
+    recursive: set[str] = set()
+    for name, callees in graph.items():
+        if name in callees:
+            recursive.add(name)
+    # Mutual recursion: nodes in nontrivial SCCs.
+    order = bottom_up_order(module)
+    seen: set[str] = set()
+    for name in order:
+        seen.add(name)
+        for callee in graph[name]:
+            if callee not in seen and callee != name:
+                # callee appears after caller in bottom-up order => cycle
+                recursive.add(name)
+                recursive.add(callee)
+    return recursive

@@ -1,0 +1,104 @@
+"""Path-insensitive data-dependence analysis (the ``C`` relation of §3.3).
+
+``(l, v) C (l', e)`` in the paper means: expression ``e`` at ``l'`` may
+depend on the value of variable ``v`` at ``l``.  We over-approximate it
+flow-insensitively per function: build a dependence graph with an edge
+``u -> d`` whenever an instruction anywhere in the function computes ``d``
+from ``u``, then take the forward closure.  Arrays participate as a single
+coarse variable each (the paper's prototype similarly tracks memory only
+through constant offsets and locals).
+
+The location component is honored implicitly: QCE's recursive descent
+``q(l, c)`` only visits sites *after* ``l``, so the closure here only needs
+to answer "may v ever flow into this expression".
+"""
+
+from __future__ import annotations
+
+from ..lang.cfg import (
+    Function,
+    IAssign,
+    IAssert,
+    ICall,
+    ILoad,
+    IPutc,
+    IStore,
+    MemRef,
+    Module,
+)
+
+
+def _ref_vars(ref: MemRef) -> frozenset[str]:
+    return ref.row.variables if ref.row is not None else frozenset()
+
+
+def dependence_edges(fn: Function, module: Module) -> dict[str, set[str]]:
+    """Edges u -> {d}: the value of u flows into d somewhere in ``fn``.
+
+    Call effects are approximated callee-insensitively: every scalar or
+    array argument flows into the call result and into every array argument
+    (arrays are in-out), which is sound for our by-reference arrays.
+    """
+    edges: dict[str, set[str]] = {}
+
+    def add(src: str, dst: str) -> None:
+        if src != dst:
+            edges.setdefault(src, set()).add(dst)
+
+    for block in fn.blocks.values():
+        for instr in block.instrs:
+            if isinstance(instr, IAssign):
+                for u in instr.expr.variables:
+                    add(u, instr.dst)
+            elif isinstance(instr, ILoad):
+                add(instr.ref.array, instr.dst)
+                for u in instr.index.variables | _ref_vars(instr.ref):
+                    add(u, instr.dst)
+            elif isinstance(instr, IStore):
+                for u in instr.value.variables | instr.index.variables | _ref_vars(instr.ref):
+                    add(u, instr.ref.array)
+            elif isinstance(instr, ICall):
+                sources: set[str] = set()
+                array_args: list[str] = []
+                for arg in instr.args:
+                    if isinstance(arg, MemRef):
+                        sources.add(arg.array)
+                        sources |= _ref_vars(arg)
+                        array_args.append(arg.array)
+                    else:
+                        sources |= arg.variables
+                for src in sources:
+                    if instr.dst is not None:
+                        add(src, instr.dst)
+                    for arr in array_args:
+                        add(src, arr)
+    return edges
+
+
+class DependenceInfo:
+    """Forward dependence closures for every variable of a function."""
+
+    def __init__(self, fn: Function, module: Module):
+        self.edges = dependence_edges(fn, module)
+        self._closures: dict[str, frozenset[str]] = {}
+
+    def closure(self, var: str) -> frozenset[str]:
+        """All variables whose value may be influenced by ``var`` (incl. itself)."""
+        cached = self._closures.get(var)
+        if cached is not None:
+            return cached
+        seen = {var}
+        stack = [var]
+        while stack:
+            node = stack.pop()
+            for succ in self.edges.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        result = frozenset(seen)
+        self._closures[var] = result
+        return result
+
+    def may_depend(self, var: str, expr_vars: frozenset[str]) -> bool:
+        """Does an expression over ``expr_vars`` possibly depend on ``var``?"""
+        return bool(self.closure(var) & expr_vars)

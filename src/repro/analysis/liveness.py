@@ -1,0 +1,80 @@
+"""Backward liveness analysis on the CFG IR.
+
+Used by the merger to exclude dead scalars (stale temporaries in
+particular) from the merge: a variable that is dead at the merge point may
+keep either state's value without affecting any future read, so it never
+forces an ``ite`` nor blocks the QCE similarity check.  The live-variable
+merge *baseline* of Boonstoppel et al. (paper §6, citation [3]) is also
+built on these sets.
+"""
+
+from __future__ import annotations
+
+from ..lang.cfg import Function, IAssign, ICall, ILoad, instr_def, instr_uses
+
+
+def block_use_def(fn: Function, label: str) -> tuple[frozenset[str], frozenset[str]]:
+    """(use, def) sets of a block: use = read before any write within it."""
+    uses: set[str] = set()
+    defs: set[str] = set()
+    block = fn.blocks[label]
+    for instr in block.instrs:
+        for v in instr_uses(instr):
+            if v not in defs:
+                uses.add(v)
+        d = instr_def(instr)
+        if d is not None:
+            defs.add(d)
+    if block.term is not None:
+        for v in instr_uses(block.term):
+            if v not in defs:
+                uses.add(v)
+    return frozenset(uses), frozenset(defs)
+
+
+def live_in_sets(fn: Function) -> dict[str, frozenset[str]]:
+    """Live-at-block-start sets via the classic backward fixpoint.
+
+    Globals (``g$``-prefixed) are conservatively treated as always live by
+    callers of this function, since they escape the function; the sets here
+    cover function-local scalars and temporaries.
+    """
+    use_def = {label: block_use_def(fn, label) for label in fn.blocks}
+    live_in: dict[str, set[str]] = {label: set() for label in fn.blocks}
+    live_out: dict[str, set[str]] = {label: set() for label in fn.blocks}
+    changed = True
+    order = list(reversed(fn.reverse_postorder()))
+    while changed:
+        changed = False
+        for label in order:
+            block = fn.blocks[label]
+            out: set[str] = set()
+            for succ in block.successors():
+                out |= live_in[succ]
+            uses, defs = use_def[label]
+            new_in = uses | (out - defs)
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return {label: frozenset(s) for label, s in live_in.items()}
+
+
+def live_at(fn: Function, label: str, instr_idx: int, live_in: dict[str, frozenset[str]]) -> frozenset[str]:
+    """Live variables just before instruction ``instr_idx`` of ``label``.
+
+    Computed by walking the block backwards from its live-out set.  Used
+    when merging states that resume mid-block (after a call returns).
+    """
+    block = fn.blocks[label]
+    live: set[str] = set()
+    for succ in block.successors():
+        live |= live_in[succ]
+    if block.term is not None:
+        live |= set(instr_uses(block.term))
+    for instr in reversed(block.instrs[instr_idx:]):
+        d = instr_def(instr)
+        if d is not None:
+            live.discard(d)
+        live |= set(instr_uses(instr))
+    return frozenset(live)

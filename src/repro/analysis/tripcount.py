@@ -1,0 +1,120 @@
+"""Static loop trip-count estimation.
+
+QCE multiplies query counts inside loops by the number of iterations; the
+paper's pass "attempts to statically determine trip counts for loops" and
+falls back to the parameter ``kappa`` otherwise.  We recognize the classic
+counted-loop shape produced by our own lowering:
+
+    init:    i := c0            (in a dominator of the header)
+    header:  if (i < c1) body else exit      [slt/ult/sle/ule]
+    body:    ... i := i + c2 ...             (single in-loop update)
+
+Anything else — symbolic bounds (``arg < argc``!), multiple updates,
+data-dependent exits — yields ``None`` and the caller substitutes kappa.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..expr import nodes as N
+from ..expr.nodes import Expr
+from ..expr.sorts import to_signed
+from ..lang.cfg import Function, IAssign, ILoad, Loop, TBr
+
+
+def _as_var_const_cmp(cond: Expr) -> tuple[str, str, int, int] | None:
+    """Decompose ``var <cmp> const`` (or zext(var)); returns (var, kind, const, width)."""
+    if cond.kind not in (N.ULT, N.ULE, N.SLT, N.SLE):
+        return None
+    lhs, rhs = cond.children
+    if lhs.kind == N.ZEXT:
+        lhs = lhs.children[0]
+    if lhs.kind == N.VAR and rhs.is_const():
+        return lhs.name, cond.kind, rhs.value, rhs.width
+    return None
+
+
+def _find_init(fn: Function, loop: Loop, var: str) -> int | None:
+    """Constant initialization of ``var`` on the straight-line path to the header."""
+    preds = fn.predecessors()
+    outside = [p for p in preds[loop.header] if p not in loop.body]
+    value: int | None = None
+    for pred in outside:
+        found = None
+        for instr in reversed(fn.blocks[pred].instrs):
+            if isinstance(instr, (IAssign, ILoad)) and getattr(instr, "dst", None) == var:
+                if isinstance(instr, IAssign) and instr.expr.is_const():
+                    found = instr.expr.value
+                break
+        if found is None:
+            return None
+        if value is not None and found != value:
+            return None
+        value = found
+    return value
+
+
+def _find_step(fn: Function, loop: Loop, var: str) -> int | None:
+    """The unique in-loop constant increment of ``var``, or None."""
+    step: int | None = None
+    for label in loop.body:
+        for instr in fn.blocks[label].instrs:
+            if isinstance(instr, IAssign) and instr.dst == var:
+                e = instr.expr
+                if (
+                    e.kind == N.ADD
+                    and e.children[0].kind == N.VAR
+                    and e.children[0].name == var
+                    and e.children[1].is_const()
+                ):
+                    delta = to_signed(e.children[1].value, e.children[1].width)
+                    if step is not None and step != delta:
+                        return None
+                    step = delta
+                else:
+                    return None  # non-induction update
+            elif isinstance(instr, ILoad) and instr.dst == var:
+                return None
+    return step
+
+
+def loop_trip_count(fn: Function, loop: Loop) -> int | None:
+    """Exact trip count for a recognized counted loop, else None."""
+    header_term = fn.blocks[loop.header].term
+    if not isinstance(header_term, TBr):
+        return None
+    body_first = header_term.then_label in loop.body
+    cond = header_term.cond
+    decomposed = _as_var_const_cmp(cond)
+    if decomposed is None or not body_first:
+        return None
+    var, kind, bound, width = decomposed
+    init = _find_init(fn, loop, var)
+    step = _find_step(fn, loop, var)
+    if init is None or step is None or step <= 0:
+        return None
+    if kind in (N.SLT, N.SLE):
+        bound = to_signed(bound, width)
+        init = to_signed(init, width)
+    if kind in (N.ULE, N.SLE):
+        bound += 1
+    if bound <= init:
+        return 0
+    return math.ceil((bound - init) / step)
+
+
+def trip_counts(fn: Function, kappa: int) -> dict[str, int]:
+    """Trip count per loop header, with ``kappa`` for unrecognized loops.
+
+    Recognized counts are additionally clamped to ``64 * kappa`` so a
+    ``for (i = 0; i < 100000; ...)`` cannot blow up the static analysis.
+    """
+    out: dict[str, int] = {}
+    for loop in fn.natural_loops():
+        exact = loop_trip_count(fn, loop)
+        if exact is None:
+            out[loop.header] = kappa
+        else:
+            out[loop.header] = min(exact, 64 * kappa)
+    return out

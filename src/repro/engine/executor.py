@@ -1,0 +1,598 @@
+"""The symbolic execution engine (the paper's Algorithm 1).
+
+A worklist of :class:`SymState` is driven by a pluggable ``pickNext``
+(search strategy), a feasibility checker ``follow`` (solver queries at
+branches), and a similarity relation ``~`` deciding merges when states
+meet at the same location.  Static state merging (SSM) is this algorithm
+with a topological strategy; dynamic state merging (DSM, Algorithm 2)
+wraps any driving strategy and fast-forwards states that are similar to a
+recent predecessor of another worklist state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.liveness import live_at, live_in_sets
+from ..env.argv import ArgvSpec
+from ..expr import ops
+from ..expr.nodes import Expr
+from ..lang.cfg import (
+    IAssert,
+    IAssign,
+    ICall,
+    ILoad,
+    IPutc,
+    IStore,
+    MemRef,
+    Module,
+    TBr,
+    THalt,
+    TJmp,
+    TRet,
+)
+from ..lang.types import Array2DType, ArrayType
+from ..qce.qce import QceAnalysis, QceParams, analyze_module
+from ..solver.portfolio import SolverChain
+from .merge import merge_states
+from .similarity import (
+    LiveVarSimilarity,
+    MergeAlways,
+    MergeNever,
+    QceFullSimilarity,
+    QceSimilarity,
+)
+from .state import ArrayBinding, Frame, Region, SymState
+from .stats import CoverageTracker, EngineStats
+from .testgen import TestCase, TestSuite, make_test_case
+
+ARGV_KEY = (0, "global", "$argv")
+
+
+@dataclass
+class EngineConfig:
+    """Knobs for one symbolic execution run.
+
+    merging: 'none' (plain), 'static' (merge at meets; use with the
+        topological strategy for SSM), or 'dynamic' (DSM, Algorithm 2).
+    similarity: 'qce' (paper Eq. 1) | 'qce-full' (Eq. 7 with ite costs) |
+        'always' | 'never' | 'live' — the ~ relation.
+    strategy: 'dfs' | 'bfs' | 'random' | 'coverage' | 'topological'.
+    """
+
+    merging: str = "none"
+    similarity: str = "qce"
+    strategy: str = "dfs"
+    qce_params: QceParams = field(default_factory=QceParams)
+    dsm_delta: int = 8
+    max_steps: int | None = None
+    time_budget: float | None = None
+    max_queries: int | None = None
+    track_exact_paths: bool = False
+    generate_tests: bool = True
+    keep_terminal_states: bool = False
+    zeta: float = 2.0  # ite cost multiplier for similarity='qce-full' (Eq. 7)
+    seed: int = 0
+    solver_cache: bool = True
+    solver_fastpath: bool = True
+    preconditions: tuple[Expr, ...] = ()
+
+
+class Engine:
+    """Symbolic executor over a compiled module with a symbolic argv."""
+
+    def __init__(self, module: Module, spec: ArgvSpec, config: EngineConfig | None = None):
+        self.module = module
+        self.spec = spec
+        self.config = config or EngineConfig()
+        self.solver = SolverChain(
+            use_cache=self.config.solver_cache, use_fastpath=self.config.solver_fastpath
+        )
+        self.stats = EngineStats()
+        self.coverage = CoverageTracker()
+        self.coverage.register_module(module)
+        self.tests = TestSuite(spec)
+        self.worklist: list[SymState] = []
+        self._loc_index: dict[tuple, list[SymState]] = {}
+        self._sid_counter = 0
+        self._live_cache: dict[str, dict[str, frozenset[str]]] = {}
+        self._live_at_cache: dict[tuple[str, str, int], frozenset[str]] = {}
+        self._rpo_cache: dict[str, dict[str, int]] = {}
+        # (multiplicity, exact path count) per terminal state, when tracking.
+        self.exact_path_samples: list[tuple[int, int]] = []
+        # Terminal states, retained only when config.keep_terminal_states.
+        self.terminal_states: list[SymState] = []
+
+        self.qce: QceAnalysis | None = None
+        if self.config.similarity in ("qce", "qce-full"):
+            self.qce = analyze_module(module, self.config.qce_params)
+        self.similarity = self._make_similarity()
+
+        from ..search.strategies import make_strategy  # local import: avoid cycle
+        from ..search.dsm import DsmStrategy
+
+        base = make_strategy(self.config.strategy, self.config.seed)
+        if self.config.merging == "dynamic":
+            self.strategy = DsmStrategy(base, self)
+        else:
+            self.strategy = base
+
+    # -- construction helpers ----------------------------------------------------
+
+    def _make_similarity(self):
+        kind = self.config.similarity
+        if kind == "never":
+            return MergeNever()
+        if kind == "always":
+            return MergeAlways()
+        if kind == "live":
+            return LiveVarSimilarity(self._frame_live_sets)
+        if kind == "qce":
+            assert self.qce is not None
+            return QceSimilarity(self.qce)
+        if kind == "qce-full":
+            assert self.qce is not None
+            return QceFullSimilarity(self.qce, self.config.zeta)
+        raise ValueError(f"unknown similarity {kind!r}")
+
+    def _fresh_sid(self) -> int:
+        self._sid_counter += 1
+        return self._sid_counter
+
+    def rpo_index(self, func: str) -> dict[str, int]:
+        cached = self._rpo_cache.get(func)
+        if cached is None:
+            cached = self.module.function(func).rpo_index()
+            self._rpo_cache[func] = cached
+        return cached
+
+    # -- liveness oracle ------------------------------------------------------------
+
+    def _live_in(self, func: str) -> dict[str, frozenset[str]]:
+        cached = self._live_cache.get(func)
+        if cached is None:
+            cached = live_in_sets(self.module.function(func))
+            self._live_cache[func] = cached
+        return cached
+
+    def live_scalars_at(self, func: str, block: str, idx: int) -> frozenset[str]:
+        if idx == 0:
+            return self._live_in(func)[block]
+        key = (func, block, idx)
+        cached = self._live_at_cache.get(key)
+        if cached is None:
+            cached = live_at(self.module.function(func), block, idx, self._live_in(func))
+            self._live_at_cache[key] = cached
+        return cached
+
+    def _frame_live_sets(self, state: SymState) -> list[frozenset[str]]:
+        return [self.live_scalars_at(f.func, f.block, f.idx) for f in state.frames]
+
+    # -- initial state ----------------------------------------------------------------
+
+    def make_initial_state(self) -> SymState:
+        state = SymState(self._fresh_sid())
+        for name, (gtype, init) in self.module.globals.items():
+            if isinstance(gtype, ArrayType):
+                cells = _init_cells(gtype.size or 0, gtype.element.width, init)
+                state.regions[(0, "global", name)] = Region(cells, None, gtype.element.width)
+            elif isinstance(gtype, Array2DType):
+                size = (gtype.rows or 0) * (gtype.cols or 0)
+                cells = _init_cells(size, gtype.element.width, None)
+                state.regions[(0, "global", name)] = Region(
+                    cells, gtype.cols, gtype.element.width
+                )
+            else:
+                state.globals_store[name] = ops.bv(int(init or 0), gtype.width)
+        state.regions[ARGV_KEY] = Region(self.spec.build_cells(), self.spec.cols, 8)
+        if self.spec.stdin_len:
+            stdin_key = (0, "global", "g$__stdin")
+            if stdin_key not in state.regions:
+                raise ValueError("program compiled without the stdio prelude")
+            state.regions[stdin_key] = Region(self.spec.stdin_cells(), None, 8)
+            state.globals_store["g$__stdin_len"] = self.spec.stdin_length_expr()
+
+        main = self.module.function("main")
+        store: dict[str, Expr] = {}
+        arrays: dict[str, ArrayBinding] = {}
+        for pname, ptype in main.params:
+            if isinstance(ptype, Array2DType):
+                arrays[pname] = ArrayBinding(ARGV_KEY)
+            elif isinstance(ptype, ArrayType):
+                raise ValueError("main's array parameter must be 2-D (argv)")
+            else:
+                store[pname] = ops.bv(self.spec.argc, ptype.width)
+        frame = Frame(main.name, main.entry, 0, store, arrays, None, depth=1)
+        state.frames = [frame]
+        self._alloc_local_arrays(state, main, depth=1)
+        state.pc = tuple(self.config.preconditions) + tuple(
+            self.spec.stdin_preconditions()
+        )
+        if self.config.track_exact_paths:
+            state.exact_pcs = (state.pc,)
+        return state
+
+    def _alloc_local_arrays(self, state: SymState, fn, depth: int) -> None:
+        param_names = {p for p, _ in fn.params}
+        inits = getattr(fn, "array_inits", {})
+        for vname, vtype in fn.var_types.items():
+            if vname in param_names:
+                continue
+            if isinstance(vtype, ArrayType):
+                cells = _init_cells(vtype.size or 0, vtype.element.width, inits.get(vname))
+                key = (depth, fn.name, vname)
+                state.regions[key] = Region(cells, None, vtype.element.width)
+                state.frames[-1].arrays[vname] = ArrayBinding(key)
+            elif isinstance(vtype, Array2DType):
+                size = (vtype.rows or 0) * (vtype.cols or 0)
+                key = (depth, fn.name, vname)
+                state.regions[key] = Region(
+                    _init_cells(size, vtype.element.width, None), vtype.cols, vtype.element.width
+                )
+                state.frames[-1].arrays[vname] = ArrayBinding(key)
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self) -> EngineStats:
+        """Explore until the worklist empties or a budget trips."""
+        start = time.perf_counter()
+        self._add_state(self.make_initial_state(), try_merge=False)
+        while self.worklist:
+            if self._budget_exhausted(start):
+                self.stats.timed_out = True
+                break
+            state = self._pick_next()
+            successors = self.step(state)
+            for succ in successors:
+                if succ.halted:
+                    self._finalize(succ)
+                else:
+                    self._add_state(succ, try_merge=self.config.merging != "none")
+        self.stats.wall_time = time.perf_counter() - start
+        return self.stats
+
+    def _budget_exhausted(self, start: float) -> bool:
+        cfg = self.config
+        if cfg.max_steps is not None and self.stats.blocks_executed >= cfg.max_steps:
+            return True
+        if cfg.time_budget is not None and time.perf_counter() - start > cfg.time_budget:
+            return True
+        if cfg.max_queries is not None and self.solver.stats.queries >= cfg.max_queries:
+            return True
+        return False
+
+    # -- worklist ---------------------------------------------------------------------------
+
+    def _pick_next(self) -> SymState:
+        idx = self.strategy.pick(self.worklist, self)
+        state = self.worklist.pop(idx)
+        self._index_remove(state)
+        self.strategy.on_remove(state)
+        return state
+
+    def _add_state(self, state: SymState, try_merge: bool) -> None:
+        if try_merge:
+            merged = self._try_merge(state)
+            if merged is not None:
+                return
+        self.worklist.append(state)
+        self._loc_index.setdefault(state.loc_key(), []).append(state)
+        self.strategy.on_add(state)
+        self.stats.max_worklist = max(self.stats.max_worklist, len(self.worklist))
+
+    def _index_remove(self, state: SymState) -> None:
+        bucket = self._loc_index.get(state.loc_key())
+        if bucket is not None:
+            try:
+                bucket.remove(state)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._loc_index[state.loc_key()]
+
+    def _try_merge(self, new_state: SymState) -> SymState | None:
+        """Algorithm 1 lines 17–22: merge into a matching worklist state."""
+        bucket = self._loc_index.get(new_state.loc_key())
+        if not bucket:
+            return None
+        for candidate in bucket:
+            if not self.similarity.mergeable(new_state, candidate):
+                continue
+            merged = merge_states(
+                new_state, candidate, self._fresh_sid(), live_scalars=self._merge_live_oracle
+            )
+            if merged is None:
+                continue
+            # Replace the candidate with the merged state in place.
+            self.worklist.remove(candidate)
+            self._index_remove(candidate)
+            self.strategy.on_remove(candidate)
+            self.stats.merges += 1
+            ff_sids = getattr(self.strategy, "ff_sids", None)
+            if ff_sids is not None and (new_state.sid in ff_sids or candidate.sid in ff_sids):
+                self.stats.dsm_ff_merges += 1
+            self.stats.max_multiplicity = max(self.stats.max_multiplicity, merged.multiplicity)
+            self._add_state(merged, try_merge=False)
+            return merged
+        return None
+
+    def _merge_live_oracle(self, frame_index: int, state: SymState) -> frozenset[str]:
+        frame = state.frames[frame_index]
+        return self.live_scalars_at(frame.func, frame.block, frame.idx)
+
+    # -- single step --------------------------------------------------------------------------
+
+    def step(self, state: SymState) -> list[SymState]:
+        """Execute until the end of the current block / call / halt."""
+        frame = state.top
+        fn = self.module.function(frame.func)
+        block = fn.blocks[frame.block]
+        self.coverage.touch(frame.func, frame.block)
+        self.stats.blocks_executed += 1
+        state.steps += 1
+
+        instrs = block.instrs
+        while frame.idx < len(instrs):
+            instr = instrs[frame.idx]
+            self.stats.instructions_executed += 1
+            frame.idx += 1
+            if isinstance(instr, IAssign):
+                state.assign(instr.dst, state.eval_expr(instr.expr))
+            elif isinstance(instr, ILoad):
+                if not self._exec_load(state, instr):
+                    return []
+            elif isinstance(instr, IStore):
+                if not self._exec_store(state, instr):
+                    return []
+            elif isinstance(instr, IPutc):
+                state.output = state.output + (state.eval_expr(instr.value),)
+            elif isinstance(instr, IAssert):
+                if not self._exec_assert(state, instr):
+                    return []
+            elif isinstance(instr, ICall):
+                self._exec_call(state, instr)
+                return self._after_move(state)
+            else:
+                raise RuntimeError(f"unknown instruction {instr!r}")
+
+        term = block.term
+        if isinstance(term, TJmp):
+            frame.block = term.label
+            frame.idx = 0
+            return self._after_move(state)
+        if isinstance(term, TBr):
+            return self._exec_branch(state, term)
+        if isinstance(term, TRet):
+            return self._exec_ret(state, term)
+        if isinstance(term, THalt):
+            code = state.eval_expr(term.code) if term.code is not None else ops.bv(0, 32)
+            return [self._halt(state, code)]
+        raise RuntimeError(f"block {frame.block} in {frame.func} lacks a terminator")
+
+    def _after_move(self, state: SymState) -> list[SymState]:
+        self._record_history(state)
+        return [state]
+
+    def _record_history(self, state: SymState) -> None:
+        """Append the state's current (location, hash) to its DSM trace.
+
+        Called while the state is *off* the worklist (mid-step), so the
+        strategy's hash index picks the new entry up at re-add time.
+        """
+        if self.config.merging != "dynamic":
+            return
+        entry = (state.loc_key(), self.similarity.state_hash(state))
+        history = state.history + (entry,)
+        if len(history) > self.config.dsm_delta:
+            history = history[-self.config.dsm_delta :]
+        state.history = history
+
+    # -- instruction semantics -------------------------------------------------------------------
+
+    def _resolve_memref(self, state: SymState, ref: MemRef) -> tuple[ArrayBinding, Expr | None]:
+        binding = state.resolve_binding(ref.array)
+        row = state.eval_expr(ref.row) if ref.row is not None else None
+        return binding, row
+
+    def _check_bounds(self, state: SymState, binding: ArrayBinding, flat: Expr, line: int) -> bool:
+        """Ensure the access is in bounds; report a 'bounds' error otherwise.
+
+        Returns False when the state cannot continue (always out of bounds).
+        """
+        region = state.region_of(binding)
+        in_bounds = ops.ult(flat, ops.bv(region.size, flat.width))
+        if in_bounds.is_true():
+            return True
+        if in_bounds.is_false():
+            self._report_error(state, "bounds", line)
+            return False
+        oob = self.solver.check(list(state.pc) + [ops.not_(in_bounds)])
+        if oob.is_sat:
+            self._report_error(state, "bounds", line, model=oob.model)
+            ok = self.solver.check(list(state.pc) + [in_bounds])
+            if not ok.is_sat:
+                return False
+            state.add_constraint(in_bounds)
+            self._split_exact_pcs(state, in_bounds)
+        return True
+
+    def _exec_load(self, state: SymState, instr: ILoad) -> bool:
+        binding, row = self._resolve_memref(state, instr.ref)
+        index = state.eval_expr(instr.index)
+        flat = state.flat_index(binding, row, index)
+        if flat.is_const():
+            region = state.region_of(binding)
+            if not (0 <= flat.value < region.size):
+                self._report_error(state, "bounds", instr.line)
+                return False
+            state.assign(instr.dst, region.cells[flat.value])
+            return True
+        if not self._check_bounds(state, binding, flat, instr.line):
+            return False
+        state.assign(instr.dst, state.read_cells(binding, flat))
+        return True
+
+    def _exec_store(self, state: SymState, instr: IStore) -> bool:
+        binding, row = self._resolve_memref(state, instr.ref)
+        index = state.eval_expr(instr.index)
+        value = state.eval_expr(instr.value)
+        flat = state.flat_index(binding, row, index)
+        if flat.is_const():
+            region = state.region_of(binding)
+            if not (0 <= flat.value < region.size):
+                self._report_error(state, "bounds", instr.line)
+                return False
+            state.regions[binding.key] = region.with_cell(flat.value, value)
+            return True
+        if not self._check_bounds(state, binding, flat, instr.line):
+            return False
+        state.write_cells(binding, flat, value)
+        return True
+
+    def _exec_assert(self, state: SymState, instr: IAssert) -> bool:
+        cond = state.eval_expr(instr.cond)
+        if cond.is_true():
+            return True
+        if cond.is_false():
+            self._report_error(state, "assert", instr.line)
+            return False
+        violated = self.solver.check(list(state.pc) + [ops.not_(cond)])
+        if violated.is_sat:
+            self._report_error(state, "assert", instr.line, model=violated.model)
+            holds = self.solver.check(list(state.pc) + [cond])
+            if not holds.is_sat:
+                return False
+            state.add_constraint(cond)
+            self._split_exact_pcs(state, cond)
+        return True
+
+    def _exec_call(self, state: SymState, instr: ICall) -> None:
+        callee = self.module.function(instr.func)
+        store: dict[str, Expr] = {}
+        arrays: dict[str, ArrayBinding] = {}
+        for (pname, ptype), arg in zip(callee.params, instr.args):
+            if isinstance(arg, MemRef):
+                binding, row = self._resolve_memref(state, arg)
+                if row is not None:
+                    if binding.row is not None:
+                        raise RuntimeError("row view of a row view is not supported")
+                    binding = ArrayBinding(binding.key, row)
+                arrays[pname] = binding
+            else:
+                store[pname] = state.eval_expr(arg)
+        depth = len(state.frames) + 1
+        frame = Frame(callee.name, callee.entry, 0, store, arrays, instr.dst, depth)
+        state.frames.append(frame)
+        self._alloc_local_arrays(state, callee, depth)
+
+    def _exec_ret(self, state: SymState, term: TRet) -> list[SymState]:
+        value = state.eval_expr(term.value) if term.value is not None else None
+        frame = state.frames.pop()
+        state.gc_frame_regions(frame.depth, frame.func)
+        if not state.frames:
+            return [self._halt(state, value if value is not None else ops.bv(0, 32))]
+        if frame.ret_dst is not None and value is not None:
+            state.assign(frame.ret_dst, value)
+        return self._after_move(state)
+
+    def _exec_branch(self, state: SymState, term: TBr) -> list[SymState]:
+        cond = state.eval_expr(term.cond)
+        frame = state.top
+        if cond.is_true() or cond.is_false():
+            frame.block = term.then_label if cond.is_true() else term.else_label
+            frame.idx = 0
+            return self._after_move(state)
+        neg = ops.not_(cond)
+        then_res = self.solver.check(list(state.pc) + [cond])
+        else_res = self.solver.check(list(state.pc) + [neg])
+        successors: list[SymState] = []
+        if then_res.is_sat and else_res.is_sat:
+            self.stats.forks += 1
+            other = state.clone(self._fresh_sid())
+            self.stats.states_created += 1
+            for target_state, branch_cond, label in (
+                (state, cond, term.then_label),
+                (other, neg, term.else_label),
+            ):
+                target_state.top.block = label
+                target_state.top.idx = 0
+                target_state.add_constraint(branch_cond)
+                self._split_exact_pcs(target_state, branch_cond)
+                successors.extend(self._after_move(target_state))
+        elif then_res.is_sat or else_res.is_sat:
+            branch_cond = cond if then_res.is_sat else neg
+            frame.block = term.then_label if then_res.is_sat else term.else_label
+            frame.idx = 0
+            state.add_constraint(branch_cond)
+            self._split_exact_pcs(state, branch_cond)
+            successors.extend(self._after_move(state))
+        else:
+            self.stats.states_infeasible += 1
+        return successors
+
+    def _split_exact_pcs(self, state: SymState, cond: Expr) -> None:
+        """Fig. 3 instrumentation: filter constituent single-path pcs."""
+        if state.exact_pcs is None:
+            return
+        kept = []
+        for pc in state.exact_pcs:
+            if self.solver.check(list(pc) + [cond]).is_sat:
+                kept.append(pc + (cond,))
+        state.exact_pcs = tuple(kept)
+
+    # -- terminal states ------------------------------------------------------------------------
+
+    def _halt(self, state: SymState, code: Expr) -> SymState:
+        state.halted = True
+        state.exit_code = code
+        return state
+
+    def _finalize(self, state: SymState) -> None:
+        if self.config.keep_terminal_states:
+            self.terminal_states.append(state)
+        self.stats.states_terminated += 1
+        self.stats.paths_completed += state.multiplicity
+        if state.exact_pcs is not None:
+            self.stats.exact_paths += len(state.exact_pcs)
+            self.exact_path_samples.append((state.multiplicity, len(state.exact_pcs)))
+        self.stats.max_multiplicity = max(self.stats.max_multiplicity, state.multiplicity)
+        if self.config.generate_tests:
+            case = make_test_case(
+                self.solver,
+                self.spec,
+                state.pc,
+                "path",
+                multiplicity=state.multiplicity,
+            )
+            if case is not None:
+                self.tests.add(case)
+                self.stats.tests_generated += 1
+
+    def _report_error(self, state: SymState, kind: str, line: int, model=None) -> None:
+        self.stats.errors_found += 1
+        if not self.config.generate_tests:
+            return
+        if model is not None:
+            from ..solver.portfolio import complete_model
+
+            full = complete_model(model, self.spec.input_variables())
+            argv = tuple(self.spec.decode(full))
+            items = tuple(
+                sorted((k, v) for k, v in full.items() if k.startswith(("arg", "stdin")))
+            )
+            self.tests.add(TestCase(kind=kind, argv=argv, model=items, line=line,
+                                    stdin=self.spec.decode_stdin(full)))
+        else:
+            case = make_test_case(self.solver, self.spec, state.pc, kind, line=line)
+            if case is not None:
+                self.tests.add(case)
+
+
+def _init_cells(size: int, width: int, init) -> tuple[Expr, ...]:
+    cells = [ops.bv(0, width)] * size
+    if init is not None:
+        values = list(init)
+        for i, v in enumerate(values[:size]):
+            cells[i] = ops.bv(int(v), width)
+    return tuple(cells)

@@ -1,0 +1,242 @@
+"""Similarity relations (the ``~`` of Algorithm 1).
+
+* :class:`MergeNever` — plain search-based symbolic execution.
+* :class:`MergeAlways` — merge whenever shapes match (static-merging-style).
+* :class:`QceSimilarity` — the paper's Eq. 1: states merge only if every
+  *hot* variable is equal in both states or already symbolic in one.
+* :class:`LiveVarSimilarity` — the Boonstoppel-et-al.-inspired baseline:
+  merge only when all *live* values are identical (differences confined to
+  dead variables), i.e. the pruning special case discussed in §6.
+
+Each relation also provides the state hash of §4.3 used by dynamic state
+merging: ``h(v)`` maps symbolic values to a sentinel and concrete values to
+themselves, so hash equality conservatively approximates ``~``.
+"""
+
+from __future__ import annotations
+
+from ..expr.nodes import Expr
+from ..qce.qce import QceAnalysis
+from .state import SymState
+
+_SYMBOLIC = -1  # sentinel for h(v) of input-dependent values
+
+
+def _h(value: Expr) -> int:
+    """The paper's h(v): a unique marker for symbolic values, else the value."""
+    return _SYMBOLIC if value.is_symbolic() else value.eid
+
+
+def _compatible(v1: Expr, v2: Expr) -> bool:
+    """Eq. 1 per-variable condition: equal, or symbolic in at least one."""
+    return v1 is v2 or v1.is_symbolic() or v2.is_symbolic()
+
+
+class SimilarityRelation:
+    """Interface; instances are stateless w.r.t. individual states."""
+
+    name = "abstract"
+
+    def mergeable(self, s1: SymState, s2: SymState) -> bool:
+        raise NotImplementedError
+
+    def state_hash(self, state: SymState) -> int:
+        raise NotImplementedError
+
+
+class MergeNever(SimilarityRelation):
+    name = "never"
+
+    def mergeable(self, s1: SymState, s2: SymState) -> bool:
+        return False
+
+    def state_hash(self, state: SymState) -> int:
+        return hash((state.sid, "never"))  # never collides on purpose
+
+
+class MergeAlways(SimilarityRelation):
+    name = "always"
+
+    def mergeable(self, s1: SymState, s2: SymState) -> bool:
+        return True
+
+    def state_hash(self, state: SymState) -> int:
+        return hash(state.loc_key())
+
+
+class QceSimilarity(SimilarityRelation):
+    """Eq. 1 instantiated with the precomputed QCE hot sets.
+
+    ``qt_global`` sums the local Qt of every stack frame's current location
+    (paper §3.2's dynamic interprocedural combination); the hot set of each
+    frame is then looked up against that global total.
+    """
+
+    name = "qce"
+
+    def __init__(self, qce: QceAnalysis):
+        self.qce = qce
+        self._hot_cache: dict[tuple, frozenset[str]] = {}
+
+    def qt_global(self, state: SymState) -> float:
+        return sum(self.qce.qt_local(f.func, f.block) for f in state.frames)
+
+    def hot_set(self, func: str, block: str, qt_global: float) -> frozenset[str]:
+        key = (func, block, round(qt_global, 6))
+        cached = self._hot_cache.get(key)
+        if cached is None:
+            cached = self.qce.hot_variables(func, block, qt_global)
+            self._hot_cache[key] = cached
+        return cached
+
+    def _frame_hot_sets(self, state: SymState) -> list[frozenset[str]]:
+        qt_g = self.qt_global(state)
+        return [self.hot_set(f.func, f.block, qt_g) for f in state.frames]
+
+    def mergeable(self, s1: SymState, s2: SymState) -> bool:
+        for f1, f2, hot in zip(s1.frames, s2.frames, self._frame_hot_sets(s2)):
+            for var in hot:
+                v2 = f2.store.get(var)
+                if v2 is not None:
+                    v1 = f1.store.get(var)
+                    if v1 is None or not _compatible(v1, v2):
+                        return False
+                    continue
+                if var.startswith("g$") and var in s2.globals_store:
+                    if not _compatible(s1.globals_store[var], s2.globals_store[var]):
+                        return False
+                    continue
+                binding = f2.arrays.get(var)
+                if binding is None and var.startswith("g$"):
+                    key = (0, "global", var)
+                    r1, r2 = s1.regions.get(key), s2.regions.get(key)
+                else:
+                    if binding is None:
+                        continue  # e.g. caller-scope name not visible here
+                    r1 = s1.regions.get(binding.key)
+                    r2 = s2.regions.get(binding.key)
+                if r1 is None or r2 is None or r1 is r2:
+                    continue
+                for c1, c2 in zip(r1.cells, r2.cells):
+                    if not _compatible(c1, c2):
+                        return False
+        return True
+
+    def state_hash(self, state: SymState) -> int:
+        qt_g = self.qt_global(state)
+        # Structural mergeability must be part of the hash: two states with
+        # equal hot-variable values but, say, different output lengths can
+        # never merge, and treating them as "similar" would make DSM
+        # fast-forward them against each other indefinitely.
+        parts: list = [state.shape_fingerprint()]
+        for frame, hot in zip(state.frames, self._frame_hot_sets(state)):
+            frame_part: list = []
+            for var in sorted(hot):
+                value = frame.store.get(var)
+                if value is not None:
+                    frame_part.append((var, _h(value)))
+                    continue
+                if var.startswith("g$") and var in state.globals_store:
+                    frame_part.append((var, _h(state.globals_store[var])))
+                    continue
+                binding = frame.arrays.get(var)
+                key = binding.key if binding is not None else (0, "global", var)
+                region = state.regions.get(key)
+                if region is not None:
+                    frame_part.append((var, tuple(_h(c) for c in region.cells)))
+            parts.append(tuple(frame_part))
+        return hash(tuple(parts))
+
+
+class QceFullSimilarity(QceSimilarity):
+    """The *full* QCE criterion of §3.3, Eq. 7 — including ite costs.
+
+    The paper's prototype drops the Qite term; §5.4 observes cases where
+    "our QCE prototype can be improved by including the estimation of ite
+    expressions introduced by state merging".  This class implements that
+    improvement:
+
+        (zeta - 1) * max_{v differing, symbolic} Qite(l, v)
+                   + max_{v differing, concrete} Qadd(l, v)  <  alpha * Qt
+
+    with Qite(l, v) = Qadd(l, v) = q(l, c_v) (both are instantiations of
+    the same per-variable query count, §3.3).  ``zeta`` > 1 is the assumed
+    cost multiplier of a query containing fresh ite expressions
+    (Simplifying Assumption 1).
+    """
+
+    name = "qce-full"
+
+    def __init__(self, qce: QceAnalysis, zeta: float = 2.0):
+        super().__init__(qce)
+        if zeta < 1.0:
+            raise ValueError("zeta must be >= 1 (ite queries cannot be cheaper)")
+        self.zeta = zeta
+
+    def _differing_values(self, s1: SymState, s2: SymState):
+        """Yield (frame_index, var, v1, v2) for every differing pair."""
+        for i, (f1, f2) in enumerate(zip(s1.frames, s2.frames)):
+            for var, v2 in f2.store.items():
+                v1 = f1.store.get(var)
+                if v1 is not None and v1 is not v2:
+                    yield i, var, v1, v2
+            for var, binding in f2.arrays.items():
+                r1 = s1.regions.get(binding.key)
+                r2 = s2.regions.get(binding.key)
+                if r1 is None or r2 is None or r1 is r2:
+                    continue
+                for c1, c2 in zip(r1.cells, r2.cells):
+                    if c1 is not c2:
+                        yield i, var, c1, c2
+                        break  # array participates once, coarsely
+        for var, v2 in s2.globals_store.items():
+            v1 = s1.globals_store.get(var)
+            if v1 is not None and v1 is not v2:
+                yield 0, var, v1, v2
+
+    def mergeable(self, s1: SymState, s2: SymState) -> bool:
+        qt_g = self.qt_global(s2)
+        threshold = self.qce.params.alpha * qt_g
+        max_qite = 0.0
+        max_qadd = 0.0
+        for frame_index, var, v1, v2 in self._differing_values(s1, s2):
+            frame = s2.frames[frame_index]
+            qadd = self.qce.qadd_local(frame.func, frame.block, var)
+            if v1.is_symbolic() or v2.is_symbolic():
+                max_qite = max(max_qite, qadd)  # s1[v] !=s s2[v]
+            else:
+                max_qadd = max(max_qadd, qadd)  # s1[v] !=c s2[v]
+        return (self.zeta - 1.0) * max_qite + max_qadd < threshold
+
+
+class LiveVarSimilarity(SimilarityRelation):
+    """Merge only when every live value is identical (baseline [3]).
+
+    ``live_sets(state) -> list[frozenset]`` yields per-frame live scalar
+    sets; the engine injects its liveness oracle at construction.
+    """
+
+    name = "live"
+
+    def __init__(self, live_sets):
+        self.live_sets = live_sets
+
+    def mergeable(self, s1: SymState, s2: SymState) -> bool:
+        for f1, f2, live in zip(s1.frames, s2.frames, self.live_sets(s2)):
+            for var in live:
+                v1, v2 = f1.store.get(var), f2.store.get(var)
+                if v1 is not v2:
+                    return False
+        for key, r2 in s2.regions.items():
+            r1 = s1.regions.get(key)
+            if r1 is not r2 and (r1 is None or r1.cells != r2.cells):
+                return False
+        return s1.globals_store == s2.globals_store
+
+    def state_hash(self, state: SymState) -> int:
+        parts: list = [state.shape_fingerprint()]
+        for frame, live in zip(state.frames, self.live_sets(state)):
+            parts.append(tuple((v, frame.store[v].eid) for v in sorted(live) if v in frame.store))
+        for key in sorted(state.regions):
+            parts.append(tuple(c.eid for c in state.regions[key].cells))
+        return hash(tuple(parts))

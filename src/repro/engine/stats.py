@@ -1,0 +1,70 @@
+"""Execution statistics for experiments and regression tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Counters the experiment harness reads after a run.
+
+    ``paths_completed`` counts terminal states weighted by multiplicity —
+    the paper's estimated path count.  ``exact_paths`` is only populated
+    when exact-path tracking (Fig. 3 instrumentation) is enabled.
+    """
+
+    blocks_executed: int = 0
+    instructions_executed: int = 0
+    forks: int = 0
+    merges: int = 0
+    dsm_fastforward_picks: int = 0
+    dsm_fastforward_states: int = 0
+    dsm_ff_merges: int = 0
+    states_created: int = 1
+    states_terminated: int = 0
+    states_infeasible: int = 0
+    paths_completed: int = 0
+    exact_paths: int = 0
+    max_multiplicity: int = 0
+    max_worklist: int = 0
+    errors_found: int = 0
+    tests_generated: int = 0
+    wall_time: float = 0.0
+    timed_out: bool = False
+
+    def snapshot(self) -> dict[str, float]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class CoverageTracker:
+    """Covered (function, block) pairs plus statement accounting."""
+
+    covered: set[tuple[str, str]] = field(default_factory=set)
+    statement_totals: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def register_module(self, module) -> None:
+        for fname, fn in module.functions.items():
+            for label, block in fn.blocks.items():
+                # A block's "statements" = instructions + terminator.
+                self.statement_totals[(fname, label)] = len(block.instrs) + 1
+
+    def touch(self, func: str, block: str) -> None:
+        self.covered.add((func, block))
+
+    @property
+    def blocks_covered(self) -> int:
+        return len(self.covered)
+
+    @property
+    def statements_covered(self) -> int:
+        return sum(self.statement_totals.get(key, 1) for key in self.covered)
+
+    @property
+    def statements_total(self) -> int:
+        return sum(self.statement_totals.values())
+
+    def statement_coverage(self) -> float:
+        total = self.statements_total
+        return self.statements_covered / total if total else 0.0

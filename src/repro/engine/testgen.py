@@ -1,0 +1,81 @@
+"""Test-case generation from terminal states (the output of Algorithm 1).
+
+Every completed path (and every error) yields a concrete input assignment
+obtained from the solver model of its path condition.  Test cases can be
+replayed on the concrete interpreter to validate the engine end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..env.argv import ArgvSpec
+from ..solver.portfolio import SolverChain, complete_model
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """A generated test input.
+
+    kind: 'path' for a normally completed path, 'assert' for an assertion
+    failure, 'bounds' for an out-of-bounds access.
+    """
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    kind: str
+    argv: tuple[bytes, ...]
+    model: tuple[tuple[str, int], ...]
+    exit_code: int | None = None
+    line: int | None = None
+    multiplicity: int = 1
+    stdin: bytes = b""
+
+    def model_dict(self) -> dict[str, int]:
+        return dict(self.model)
+
+
+@dataclass
+class TestSuite:
+    __test__ = False  # not a pytest class
+
+    spec: ArgvSpec
+    cases: list[TestCase] = field(default_factory=list)
+
+    def add(self, case: TestCase) -> None:
+        self.cases.append(case)
+
+    def paths(self) -> list[TestCase]:
+        return [c for c in self.cases if c.kind == "path"]
+
+    def errors(self) -> list[TestCase]:
+        return [c for c in self.cases if c.kind != "path"]
+
+
+def make_test_case(
+    solver: SolverChain,
+    spec: ArgvSpec,
+    pc,
+    kind: str,
+    exit_code: int | None = None,
+    line: int | None = None,
+    multiplicity: int = 1,
+) -> TestCase | None:
+    """Solve the path condition and decode a concrete argv; None if UNSAT."""
+    model = solver.get_model(list(pc))
+    if model is None:
+        return None
+    full = complete_model(model, spec.input_variables())
+    argv = tuple(spec.decode(full))
+    items = tuple(
+        sorted((k, v) for k, v in full.items() if k.startswith(("arg", "stdin")))
+    )
+    return TestCase(
+        kind=kind,
+        argv=argv,
+        model=items,
+        exit_code=exit_code,
+        line=line,
+        multiplicity=multiplicity,
+        stdin=spec.decode_stdin(full),
+    )

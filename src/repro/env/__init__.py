@@ -1,0 +1,5 @@
+"""Symbolic environment model (argv/stdin) and one-call runners."""
+
+from .argv import ArgvSpec, printable_constraints
+
+__all__ = ["ArgvSpec", "printable_constraints"]

@@ -1,0 +1,130 @@
+"""Symbolic command-line model (the paper's input precondition, §3.1).
+
+``argc = N + 1`` is a fixed constant; each of the N arguments is a
+zero-terminated string of up to L symbolic bytes.  ``argv`` materializes as
+one 2-D region of shape ``(N+1) × (L+1)``: row 0 holds the concrete program
+name, rows 1..N hold symbolic bytes ``argN_bM`` with a forced terminating
+NUL in the last column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..expr import ops
+from ..expr.nodes import Expr
+
+
+@dataclass(frozen=True)
+class ArgvSpec:
+    """Bounded symbolic input: N args of up to L bytes each.
+
+    ``concrete_args`` optionally pins a prefix of the arguments to concrete
+    strings (useful for option-driven utilities: ``('-n',)`` etc.).
+    """
+
+    n_args: int
+    arg_len: int
+    prog_name: bytes = b"prog"
+    concrete_args: tuple[bytes, ...] = ()
+    stdin_len: int = 0  # S symbolic stdin bytes (0 = stdin stays empty)
+
+    STDIN_CAPACITY = 16  # geometry of the __stdin global in the stdlib
+
+    def __post_init__(self) -> None:
+        if self.n_args < 0 or self.arg_len < 0:
+            raise ValueError("n_args and arg_len must be non-negative")
+        if len(self.concrete_args) > self.n_args:
+            raise ValueError("more concrete args than n_args")
+        if not (0 <= self.stdin_len <= self.STDIN_CAPACITY):
+            raise ValueError(f"stdin_len must be in [0, {self.STDIN_CAPACITY}]")
+
+    @property
+    def argc(self) -> int:
+        return self.n_args + 1
+
+    @property
+    def cols(self) -> int:
+        return max(self.arg_len, max((len(a) for a in self.all_concrete_rows()), default=0)) + 1
+
+    def all_concrete_rows(self) -> list[bytes]:
+        return [self.prog_name, *self.concrete_args]
+
+    def var_name(self, arg: int, byte: int) -> str:
+        return f"arg{arg}_b{byte}"
+
+    def input_variables(self) -> list[str]:
+        """Names of all symbolic input bytes, in canonical order."""
+        names = []
+        for i in range(len(self.concrete_args) + 1, self.argc):
+            for j in range(self.arg_len):
+                names.append(self.var_name(i, j))
+        for k in range(self.stdin_len):
+            names.append(f"stdin_b{k}")
+        if self.stdin_len:
+            names.append("stdin_len")
+        return names
+
+    def stdin_cells(self) -> tuple[Expr, ...]:
+        """Cell contents for the __stdin global (symbolic prefix, 0 fill)."""
+        cells = [ops.bv_var(f"stdin_b{k}", 8) for k in range(self.stdin_len)]
+        cells.extend(ops.bv(0, 8) for _ in range(self.STDIN_CAPACITY - self.stdin_len))
+        return tuple(cells)
+
+    def stdin_length_expr(self) -> Expr:
+        return ops.bv_var("stdin_len", 32)
+
+    def stdin_preconditions(self) -> list[Expr]:
+        """0 <= stdin_len <= S, so every prefix length is a distinct case."""
+        if not self.stdin_len:
+            return []
+        return [ops.ule(self.stdin_length_expr(), ops.bv(self.stdin_len, 32))]
+
+    def decode_stdin(self, model: dict[str, int]) -> bytes:
+        if not self.stdin_len:
+            return b""
+        length = min(model.get("stdin_len", 0), self.stdin_len)
+        return bytes(model.get(f"stdin_b{k}", 0) & 0xFF for k in range(length))
+
+    def symbolic_byte_count(self) -> int:
+        return len(self.input_variables())  # includes stdin bytes + length
+
+    def build_cells(self) -> tuple[Expr, ...]:
+        """The flat cell contents of the argv region (row-major)."""
+        cols = self.cols
+        cells: list[Expr] = []
+        for row_bytes in self.all_concrete_rows():
+            padded = row_bytes[: cols - 1] + b"\x00" * (cols - len(row_bytes[: cols - 1]))
+            cells.extend(ops.bv(b, 8) for b in padded)
+        for i in range(len(self.concrete_args) + 1, self.argc):
+            for j in range(cols - 1):
+                if j < self.arg_len:
+                    cells.append(ops.bv_var(self.var_name(i, j), 8))
+                else:
+                    cells.append(ops.bv(0, 8))
+            cells.append(ops.bv(0, 8))  # forced terminator
+        return tuple(cells)
+
+    def decode(self, model: dict[str, int]) -> list[bytes]:
+        """Concrete argv for a solver model (unconstrained bytes default 0)."""
+        args: list[bytes] = [self.prog_name, *self.concrete_args]
+        for i in range(len(self.concrete_args) + 1, self.argc):
+            raw = bytes(model.get(self.var_name(i, j), 0) & 0xFF for j in range(self.arg_len))
+            nul = raw.find(0)
+            args.append(raw if nul < 0 else raw[:nul])
+        return args
+
+
+def printable_constraints(spec: ArgvSpec) -> list[Expr]:
+    """Optional preconditions restricting symbolic bytes to NUL-or-printable.
+
+    KLEE campaigns often restrict argv bytes this way to keep generated
+    tests shell-safe; experiments can prepend these to the initial pc.
+    """
+    constraints: list[Expr] = []
+    for name in spec.input_variables():
+        b = ops.bv_var(name, 8)
+        is_nul = ops.eq(b, ops.bv(0, 8))
+        printable = ops.and_(ops.ule(ops.bv(32, 8), b), ops.ult(b, ops.bv(127, 8)))
+        constraints.append(ops.or_(is_nul, printable))
+    return constraints

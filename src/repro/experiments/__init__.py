@@ -1,0 +1,37 @@
+"""Experiment harness reproducing the paper's evaluation (Figures 3-9)."""
+
+from .figures import (
+    fig3_multiplicity,
+    fig4_path_ratio,
+    fig5_speedup_curve,
+    fig6_scatter,
+    fig7_alpha_sweep,
+    fig8_coverage,
+    fig9_dsm_vs_ssm,
+)
+from .harness import BUDGETED_CORPUS, FAST_EXHAUSTIVE, MODES, RunSettings, cost_of, run_cell
+from .pathcount import PathFit, calibrate, collect_points, fit_points
+from .report import ascii_series, render_table, save_json
+
+__all__ = [
+    "BUDGETED_CORPUS",
+    "FAST_EXHAUSTIVE",
+    "MODES",
+    "PathFit",
+    "RunSettings",
+    "ascii_series",
+    "calibrate",
+    "collect_points",
+    "cost_of",
+    "fig3_multiplicity",
+    "fig4_path_ratio",
+    "fig5_speedup_curve",
+    "fig6_scatter",
+    "fig7_alpha_sweep",
+    "fig8_coverage",
+    "fig9_dsm_vs_ssm",
+    "fit_points",
+    "render_table",
+    "run_cell",
+    "save_json",
+]

@@ -1,0 +1,79 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments            # all figures, CI scale
+    python -m repro.experiments fig7       # one figure
+    python -m repro.experiments fig5 --scale paper
+    python -m repro.experiments all --json results/
+
+Each figure prints the same rows the paper plots; ``--json`` additionally
+persists the raw data for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from pathlib import Path
+
+from .figures import (
+    fig3_multiplicity,
+    fig4_path_ratio,
+    fig5_speedup_curve,
+    fig6_scatter,
+    fig7_alpha_sweep,
+    fig8_coverage,
+    fig9_dsm_vs_ssm,
+)
+from .report import save_json
+
+FIGURES = {
+    "fig3": fig3_multiplicity,
+    "fig4": fig4_path_ratio,
+    "fig5": fig5_speedup_curve,
+    "fig6": fig6_scatter,
+    "fig7": fig7_alpha_sweep,
+    "fig8": fig8_coverage,
+    "fig9": fig9_dsm_vs_ssm,
+}
+
+
+def _jsonable(result) -> object:
+    if dataclasses.is_dataclass(result):
+        return dataclasses.asdict(result)
+    return repr(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the evaluation figures of Kuznetsov et al., PLDI 2012.",
+    )
+    parser.add_argument("figure", nargs="?", default="all",
+                        choices=["all", *FIGURES], help="which figure to run")
+    parser.add_argument("--scale", default="ci", choices=["ci", "paper"],
+                        help="input sizes / budgets preset")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also dump raw rows as JSON into DIR")
+    args = parser.parse_args(argv)
+
+    names = list(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        start = time.perf_counter()
+        result = FIGURES[name](scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(f"===== {name} ({elapsed:.1f}s) =====")
+        print(result.table())
+        print()
+        if args.json:
+            out_dir = Path(args.json)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            save_json(out_dir / f"{name}.json", _jsonable(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,426 @@
+"""Drivers reproducing every figure of the paper's evaluation (§5).
+
+Each ``figN_*`` function runs the corresponding experiment at a chosen
+scale and returns a result object with the raw rows and a ``table()``
+rendering.  ``scale='ci'`` keeps every figure in the seconds range;
+``scale='paper'`` uses larger inputs/budgets for stronger effects.
+
+Paper-vs-measured notes live in EXPERIMENTS.md; the benchmarks under
+``benchmarks/`` regenerate each figure and assert its expected *shape*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .harness import FAST_EXHAUSTIVE, MODES, RunSettings, cost_of, run_cell
+from .pathcount import PathFit, calibrate, collect_points, fit_points
+from .report import render_table
+
+CI = "ci"
+PAPER = "paper"
+
+
+def _budget(scale: str, ci_value: int, paper_value: int) -> int:
+    return ci_value if scale == CI else paper_value
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — exact path count vs. state multiplicity (log-log linear)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig3Result:
+    fits: dict[str, PathFit]
+
+    def table(self) -> str:
+        rows = [
+            [name, len(fit.points), round(fit.c1, 3), round(fit.c2, 3), round(fit.r_squared, 3)]
+            for name, fit in self.fits.items()
+        ]
+        return render_table(
+            ["tool", "samples", "c1", "c2", "R^2"],
+            rows,
+            title="Fig. 3 — log p ~ c1 + c2 log m (expect c2 > 0, high R^2)",
+        )
+
+
+def fig3_multiplicity(scale: str = CI, programs=None) -> Fig3Result:
+    # The paper uses seq/join/tsort; seq's atoi chains make exact-path
+    # tracking expensive, so the CI preset swaps in echo (same loop shape).
+    programs = programs or (("echo", "join", "tsort") if scale == CI else ("seq", "join", "tsort"))
+    fits: dict[str, PathFit] = {}
+    steps = _budget(scale, 400, 4000)
+    for program in programs:
+        points = collect_points(program, mode="ssm-qce", max_steps=steps)
+        fits[program] = fit_points(points)
+    return Fig3Result(fits)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — relative increase in explored paths, DSM+QCE vs. plain
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig4Row:
+    program: str
+    paths_plain: int
+    paths_dsm_estimated: float
+    ratio: float
+    log10_ratio: float
+
+
+@dataclass
+class Fig4Result:
+    rows: list[Fig4Row]
+
+    def table(self) -> str:
+        data = [
+            [r.program, r.paths_plain, round(r.paths_dsm_estimated, 1), f"{r.ratio:.3g}",
+             round(r.log10_ratio, 2)]
+            for r in sorted(self.rows, key=lambda r: -r.log10_ratio)
+        ]
+        return render_table(
+            ["tool", "paths(plain)", "paths(DSM+QCE est.)", "ratio", "log10"],
+            data,
+            title="Fig. 4 — path-exploration ratio under a fixed budget",
+        )
+
+
+def fig4_path_ratio(scale: str = CI, programs=None) -> Fig4Result:
+    programs = programs or FAST_EXHAUSTIVE
+    steps = _budget(scale, 1200, 12000)
+    calibration_steps = _budget(scale, 600, 4000)
+    rows: list[Fig4Row] = []
+    for program in programs:
+        plain = run_cell(
+            RunSettings(program=program, mode="plain-cov", max_steps=steps, seed=1)
+        )
+        dsm = run_cell(RunSettings(program=program, mode="dsm-qce", max_steps=steps, seed=1))
+        fit = fit_points(
+            collect_points(program, mode="dsm-qce", max_steps=calibration_steps)
+        )
+        estimated = fit.estimate(dsm.stats.paths_completed)
+        if estimated <= 0:
+            estimated = float(dsm.stats.paths_completed)
+        plain_paths = max(1, plain.stats.paths_completed)
+        ratio = estimated / plain_paths
+        rows.append(
+            Fig4Row(program, plain_paths, estimated, ratio, math.log10(max(ratio, 1e-12)))
+        )
+    return Fig4Result(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — speedup of SSM+QCE vs. plain as input size grows
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig5Row:
+    program: str
+    sym_bytes: int
+    cost_plain: int
+    cost_ssm: int
+    speedup: float
+    plain_timed_out: bool
+
+
+@dataclass
+class Fig5Result:
+    rows: list[Fig5Row]
+
+    def table(self) -> str:
+        data = [
+            [r.program, r.sym_bytes, r.cost_plain, r.cost_ssm,
+             f"{r.speedup:.2f}" + (" (lower bound)" if r.plain_timed_out else "")]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "symbolic bytes", "cost(plain)", "cost(SSM+QCE)", "speedup"],
+            data,
+            title="Fig. 5 — speedup vs. symbolic input size (expect growth with size)",
+        )
+
+
+def fig5_speedup_curve(
+    scale: str = CI, programs=("link", "nice", "basename"), sizes=None
+) -> Fig5Result:
+    if sizes is None:
+        sizes = [(1, 1), (1, 2), (2, 1), (2, 2)]
+        if scale == PAPER:
+            sizes.append((2, 3))
+    cap = _budget(scale, 25000, 200000)
+    rows: list[Fig5Row] = []
+    for program in programs:
+        for n, l in sizes:
+            plain = run_cell(
+                RunSettings(program=program, mode="plain", n_args=n, arg_len=l, max_steps=cap)
+            )
+            ssm = run_cell(
+                RunSettings(program=program, mode="ssm-qce", n_args=n, arg_len=l, max_steps=cap)
+            )
+            cost_p, cost_s = max(1, cost_of(plain)), max(1, cost_of(ssm))
+            rows.append(
+                Fig5Row(
+                    program,
+                    n * l,
+                    cost_p,
+                    cost_s,
+                    cost_p / cost_s,
+                    plain.stats.timed_out,
+                )
+            )
+    return Fig5Result(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — scatter of SSM+QCE vs. plain completion cost over the corpus
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig6Row:
+    program: str
+    sym_bytes: int
+    cost_plain: int
+    cost_ssm: int
+    plain_timed_out: bool
+    ssm_timed_out: bool
+
+
+@dataclass
+class Fig6Result:
+    rows: list[Fig6Row]
+
+    def table(self) -> str:
+        data = [
+            [r.program, r.sym_bytes,
+             str(r.cost_plain) + ("(T)" if r.plain_timed_out else ""),
+             str(r.cost_ssm) + ("(T)" if r.ssm_timed_out else ""),
+             f"{r.cost_plain / max(1, r.cost_ssm):.2f}"]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "symbolic bytes", "cost(plain)", "cost(SSM+QCE)", "ratio"],
+            data,
+            title="Fig. 6 — corpus scatter (points below the diagonal = speedup)",
+        )
+
+    def speedup_fraction(self) -> float:
+        """Fraction of instances where SSM+QCE was at least as cheap."""
+        wins = sum(1 for r in self.rows if r.cost_ssm <= r.cost_plain or r.plain_timed_out)
+        return wins / len(self.rows) if self.rows else 0.0
+
+
+def fig6_scatter(scale: str = CI, programs=None, sizes=((1, 2), (2, 2))) -> Fig6Result:
+    programs = programs or FAST_EXHAUSTIVE
+    cap = _budget(scale, 12000, 80000)
+    rows: list[Fig6Row] = []
+    for program in programs:
+        for n, l in sizes:
+            plain = run_cell(
+                RunSettings(program=program, mode="plain", n_args=n, arg_len=l, max_steps=cap)
+            )
+            ssm = run_cell(
+                RunSettings(program=program, mode="ssm-qce", n_args=n, arg_len=l, max_steps=cap)
+            )
+            rows.append(
+                Fig6Row(
+                    program,
+                    n * l,
+                    cost_of(plain),
+                    cost_of(ssm),
+                    plain.stats.timed_out,
+                    ssm.stats.timed_out,
+                )
+            )
+    return Fig6Result(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — impact of the QCE threshold alpha
+# ---------------------------------------------------------------------------
+
+NO_MERGE = "no-merge"
+
+
+@dataclass
+class Fig7Result:
+    # program -> [(alpha label, cost, completed)]
+    curves: dict[str, list[tuple[str, int, bool]]]
+
+    def table(self) -> str:
+        rows = []
+        for program, curve in self.curves.items():
+            for label, cost, completed in curve:
+                rows.append([program, label, cost, "yes" if completed else "TIMEOUT"])
+        return render_table(
+            ["tool", "alpha", "cost", "completed"],
+            rows,
+            title="Fig. 7 — completion cost vs. QCE threshold alpha",
+        )
+
+
+def fig7_alpha_sweep(
+    scale: str = CI,
+    programs=("link", "nice", "paste", "pr"),
+    alphas=(0.0, 1e-6, 1e-2, 0.05, 0.3, 1.0, math.inf),
+) -> Fig7Result:
+    cap = _budget(scale, 20000, 120000)
+    curves: dict[str, list[tuple[str, int, bool]]] = {}
+    for program in programs:
+        curve: list[tuple[str, int, bool]] = []
+        plain = run_cell(RunSettings(program=program, mode="plain", max_steps=cap))
+        curve.append((NO_MERGE, cost_of(plain), not plain.stats.timed_out))
+        for alpha in alphas:
+            result = run_cell(
+                RunSettings(program=program, mode="ssm-qce", alpha=alpha, max_steps=cap)
+            )
+            label = "inf" if math.isinf(alpha) else f"{alpha:g}"
+            curve.append((label, cost_of(result), not result.stats.timed_out))
+        curves[program] = curve
+    return Fig7Result(curves)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — statement-coverage change of DSM and SSM vs. plain (budgeted)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig8Row:
+    program: str
+    coverage_plain: float
+    coverage_ssm: float
+    coverage_dsm: float
+
+    @property
+    def ssm_delta(self) -> float:
+        return 100.0 * (self.coverage_ssm - self.coverage_plain)
+
+    @property
+    def dsm_delta(self) -> float:
+        return 100.0 * (self.coverage_dsm - self.coverage_plain)
+
+
+@dataclass
+class Fig8Result:
+    rows: list[Fig8Row]
+
+    def table(self) -> str:
+        data = [
+            [r.program, f"{100 * r.coverage_plain:.1f}%", f"{r.ssm_delta:+.1f}",
+             f"{r.dsm_delta:+.1f}"]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "plain coverage", "SSM delta (pp)", "DSM delta (pp)"],
+            data,
+            title="Fig. 8 — coverage change vs. plain (DSM should track plain; SSM lags)",
+        )
+
+    def mean_deltas(self) -> tuple[float, float]:
+        if not self.rows:
+            return (0.0, 0.0)
+        ssm = sum(r.ssm_delta for r in self.rows) / len(self.rows)
+        dsm = sum(r.dsm_delta for r in self.rows) / len(self.rows)
+        return ssm, dsm
+
+
+def fig8_coverage(scale: str = CI, programs=None, sizes=(3, 3)) -> Fig8Result:
+    """Budgeted runs on enlarged inputs so exploration stays incomplete."""
+    programs = programs or ["echo", "cat", "nice", "pr", "uniq", "wc", "head", "tr"]
+    n, l = sizes
+    steps = _budget(scale, 350, 2500)
+    rows: list[Fig8Row] = []
+    for program in programs:
+        settings = dict(program=program, n_args=n, arg_len=l, max_steps=steps, seed=3)
+        plain = run_cell(RunSettings(mode="plain-cov", **settings))
+        ssm = run_cell(RunSettings(mode="ssm-qce", **settings))
+        dsm = run_cell(RunSettings(mode="dsm-qce", **settings))
+        rows.append(
+            Fig8Row(
+                program,
+                plain.statement_coverage,
+                ssm.statement_coverage,
+                dsm.statement_coverage,
+            )
+        )
+    return Fig8Result(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — SSM vs. DSM in exhaustive exploration (+ the 69% FF statistic)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig9Row:
+    program: str
+    cost_ssm: int
+    cost_dsm: int
+    dsm_overhead: float
+    ff_states: int
+    ff_merges: int
+
+
+@dataclass
+class Fig9Result:
+    rows: list[Fig9Row]
+
+    def table(self) -> str:
+        data = [
+            [r.program, r.cost_ssm, r.cost_dsm, f"{100 * (r.dsm_overhead - 1):+.1f}%",
+             r.ff_states, r.ff_merges]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "cost(SSM)", "cost(DSM)", "DSM overhead", "FF states", "FF merges"],
+            data,
+            title="Fig. 9 — DSM vs. SSM exhaustive cost (expect comparable, modest overhead)",
+        )
+
+    def ff_success_rate(self) -> float:
+        """Paper §5.5 reports 69% of fast-forwarded states merge."""
+        states = sum(r.ff_states for r in self.rows)
+        merges = sum(r.ff_merges for r in self.rows)
+        return merges / states if states else 0.0
+
+    def median_overhead(self) -> float:
+        if not self.rows:
+            return 1.0
+        values = sorted(r.dsm_overhead for r in self.rows)
+        return values[len(values) // 2]
+
+
+def fig9_dsm_vs_ssm(scale: str = CI, programs=None) -> Fig9Result:
+    programs = programs or ["echo", "cat", "cut", "nice", "pr", "sleep", "fold", "test"]
+    cap = _budget(scale, 20000, 120000)
+    rows: list[Fig9Row] = []
+    for program in programs:
+        # Exhaustive setting: both techniques drive with the same
+        # (topological) heuristic, so the difference isolates DSM's
+        # fast-forwarding machinery — matching the paper's §5.5 protocol
+        # where SSM is the exhaustive-mode gold standard.
+        ssm = run_cell(RunSettings(program=program, mode="ssm-qce", max_steps=cap))
+        dsm = run_cell(RunSettings(program=program, mode="dsm-topo", max_steps=cap))
+        # At CI scale, raw cost units are dominated by which queries happen
+        # to hit the solver fast path; the query count is the stable
+        # exhaustive-mode workload measure (both runs explore the same
+        # merged state space).
+        cost_s, cost_d = max(1, ssm.solver_stats.queries), dsm.solver_stats.queries
+        rows.append(
+            Fig9Row(
+                program,
+                cost_s,
+                cost_d,
+                cost_d / cost_s,
+                dsm.stats.dsm_fastforward_states,
+                dsm.stats.dsm_ff_merges,
+            )
+        )
+    return Fig9Result(rows)

@@ -1,0 +1,113 @@
+"""Shared experiment machinery.
+
+Experiments run corpus programs under named *modes* (plain KLEE-style,
+SSM+QCE, DSM+QCE, merge-everything, ...) with deterministic budgets and
+collect comparable metrics.  Cost is reported both as wall-clock and as
+deterministic *cost units* (solver decisions + conflicts + one per query),
+because absolute pure-Python timings are not meaningful against the
+paper's C++/STP testbed — shapes and ratios are (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.executor import EngineConfig
+from ..env.argv import ArgvSpec
+from ..env.runner import SymbolicRunResult, run_symbolic_module
+from ..programs.registry import get_program
+from ..qce.qce import QceParams
+
+# The paper's evaluation modes (§5.2–§5.5).
+MODES: dict[str, dict[str, str]] = {
+    "plain": {"merging": "none", "similarity": "never", "strategy": "dfs"},
+    "plain-cov": {"merging": "none", "similarity": "never", "strategy": "coverage"},
+    "ssm-qce": {"merging": "static", "similarity": "qce", "strategy": "topological"},
+    "ssm-all": {"merging": "static", "similarity": "always", "strategy": "topological"},
+    "ssm-cov": {"merging": "static", "similarity": "qce", "strategy": "coverage"},
+    "dsm-qce": {"merging": "dynamic", "similarity": "qce", "strategy": "coverage"},
+    "dsm-dfs": {"merging": "dynamic", "similarity": "qce", "strategy": "dfs"},
+    "dsm-topo": {"merging": "dynamic", "similarity": "qce", "strategy": "topological"},
+    "ssm-qce-full": {"merging": "static", "similarity": "qce-full", "strategy": "topological"},
+    "live": {"merging": "static", "similarity": "live", "strategy": "topological"},
+}
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """One experiment cell: program × input size × mode × budget."""
+
+    program: str
+    mode: str = "plain"
+    n_args: int | None = None
+    arg_len: int | None = None
+    max_steps: int | None = None
+    time_budget: float | None = None
+    alpha: float | None = None
+    beta: float | None = None
+    kappa: int | None = None
+    dsm_delta: int = 8
+    track_exact_paths: bool = False
+    generate_tests: bool = False
+    seed: int = 0
+
+
+def run_cell(settings: RunSettings) -> SymbolicRunResult:
+    """Execute one experiment cell."""
+    info = get_program(settings.program)
+    spec = ArgvSpec(
+        n_args=info.default_n if settings.n_args is None else settings.n_args,
+        arg_len=info.default_l if settings.arg_len is None else settings.arg_len,
+    )
+    mode = MODES[settings.mode]
+    defaults = QceParams()
+    qce_params = QceParams(
+        alpha=defaults.alpha if settings.alpha is None else settings.alpha,
+        beta=defaults.beta if settings.beta is None else settings.beta,
+        kappa=defaults.kappa if settings.kappa is None else settings.kappa,
+    )
+    config = EngineConfig(
+        merging=mode["merging"],
+        similarity=mode["similarity"],
+        strategy=mode["strategy"],
+        qce_params=qce_params,
+        dsm_delta=settings.dsm_delta,
+        max_steps=settings.max_steps,
+        time_budget=settings.time_budget,
+        track_exact_paths=settings.track_exact_paths,
+        generate_tests=settings.generate_tests,
+        seed=settings.seed,
+    )
+    return run_symbolic_module(info.compile(), spec, config, program_name=settings.program)
+
+
+def cost_of(result: SymbolicRunResult) -> int:
+    """Deterministic cost proxy for 'solving time' (DESIGN.md substitution)."""
+    return result.solver_stats.cost_units
+
+
+# Programs small enough for quick exhaustive exploration in CI-scale runs.
+FAST_EXHAUSTIVE = [
+    "echo",
+    "cat",
+    "comm",
+    "cut",
+    "dirname",
+    "fold",
+    "head",
+    "link",
+    "nice",
+    "pr",
+    "rev",
+    "sleep",
+    "test",
+    "tsort",
+    "uniq",
+    "wc",
+    "yes",
+    "true",
+    "false",
+]
+
+# The full corpus, for budgeted (incomplete) experiments.
+BUDGETED_CORPUS = FAST_EXHAUSTIVE + ["basename", "expand", "join", "paste", "tr"]

@@ -1,0 +1,58 @@
+"""ASCII table/series rendering for experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def render_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def save_json(path: str | Path, payload) -> None:
+    """Persist a result payload for later inspection/plotting."""
+    Path(path).write_text(json.dumps(payload, indent=2, default=str) + "\n")
+
+
+def ascii_series(points: list[tuple[float, float]], width: int = 60, height: int = 12) -> str:
+    """A tiny log-free scatter for terminal eyeballing of figure shapes."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: [{x_lo:.3g}, {x_hi:.3g}]  y: [{y_lo:.3g}, {y_hi:.3g}]")
+    return "\n".join(lines)

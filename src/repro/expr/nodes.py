@@ -1,0 +1,240 @@
+"""Hash-consed immutable expression nodes.
+
+Every expression is interned: constructing the same (kind, sort, children,
+payload) twice yields the *same* Python object, so structural equality is
+identity and hashing is O(1).  All construction goes through the smart
+constructors in :mod:`repro.expr.ops`, which fold constants and apply local
+simplifications before interning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .sorts import BOOL, BVSort, Sort
+
+# Expression kinds.  Grouped for documentation; values are the tags stored on
+# nodes and switched on throughout the solver and engine.
+CONST = "const"
+VAR = "var"
+
+# Bitvector arithmetic (operands and result share a width).
+ADD = "add"
+SUB = "sub"
+MUL = "mul"
+UDIV = "udiv"
+UREM = "urem"
+SDIV = "sdiv"
+SREM = "srem"
+NEG = "neg"
+
+# Bitvector bitwise / shifts.
+BVAND = "bvand"
+BVOR = "bvor"
+BVXOR = "bvxor"
+BVNOT = "bvnot"
+SHL = "shl"
+LSHR = "lshr"
+ASHR = "ashr"
+
+# Width adjustment.
+ZEXT = "zext"
+SEXT = "sext"
+EXTRACT = "extract"
+CONCAT = "concat"
+
+# Predicates over bitvectors (result sort Bool).
+EQ = "eq"
+ULT = "ult"
+ULE = "ule"
+SLT = "slt"
+SLE = "sle"
+
+# Boolean connectives.
+NOT = "not"
+AND = "and"
+OR = "or"
+XOR = "xor"
+IMPLIES = "implies"
+
+# Both sorts.
+ITE = "ite"
+
+_ARITH_KINDS = frozenset({ADD, SUB, MUL, UDIV, UREM, SDIV, SREM, NEG})
+_BITWISE_KINDS = frozenset({BVAND, BVOR, BVXOR, BVNOT, SHL, LSHR, ASHR})
+_CMP_KINDS = frozenset({EQ, ULT, ULE, SLT, SLE})
+_BOOL_KINDS = frozenset({NOT, AND, OR, XOR, IMPLIES})
+
+_intern_table: dict[tuple, "Expr"] = {}
+_next_id = 0
+
+
+def interned_count() -> int:
+    """Number of distinct live expression nodes (diagnostics)."""
+    return len(_intern_table)
+
+
+def clear_intern_table() -> None:
+    """Drop the intern table.
+
+    Only for tests that measure memory behaviour; existing Expr objects stay
+    valid but new structurally-equal nodes will no longer be identical to
+    them, so never call this mid-analysis.
+    """
+    _intern_table.clear()
+
+
+class Expr:
+    """An immutable, interned expression node.
+
+    Attributes:
+        kind: one of the kind tags above.
+        sort: the expression's sort (:class:`BoolSort` or :class:`BVSort`).
+        children: operand tuple.
+        value: integer payload for ``CONST`` (unsigned, normalized to width;
+            0/1 for booleans).
+        name: variable name for ``VAR``.
+        params: extra integer parameters, e.g. ``(hi, lo)`` for ``EXTRACT``.
+    """
+
+    __slots__ = (
+        "kind",
+        "sort",
+        "children",
+        "value",
+        "name",
+        "params",
+        "eid",
+        "_hash",
+        "_vars",
+        "_depth",
+    )
+
+    def __init__(self) -> None:
+        raise TypeError("use repro.expr.ops smart constructors, not Expr()")
+
+    # -- construction (module-internal) ------------------------------------
+
+    @staticmethod
+    def _make(
+        kind: str,
+        sort: Sort,
+        children: tuple["Expr", ...] = (),
+        value: int | None = None,
+        name: str | None = None,
+        params: tuple[int, ...] = (),
+    ) -> "Expr":
+        key = (kind, sort, children, value, name, params)
+        node = _intern_table.get(key)
+        if node is not None:
+            return node
+        global _next_id
+        node = object.__new__(Expr)
+        node.kind = kind
+        node.sort = sort
+        node.children = children
+        node.value = value
+        node.name = name
+        node.params = params
+        node.eid = _next_id
+        _next_id += 1
+        node._hash = hash((kind, id(sort), tuple(c.eid for c in children), value, name, params))
+        node._vars = None
+        node._depth = None
+        _intern_table[key] = node
+        return node
+
+    # -- identity-based equality (valid because nodes are interned) --------
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __ne__(self, other: object) -> bool:
+        return self is not other
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Bitvector width; raises for boolean expressions."""
+        if isinstance(self.sort, BVSort):
+            return self.sort.width
+        raise TypeError(f"expression {self!r} is boolean, has no width")
+
+    def is_const(self) -> bool:
+        return self.kind == CONST
+
+    def is_var(self) -> bool:
+        return self.kind == VAR
+
+    def is_true(self) -> bool:
+        return self.kind == CONST and self.sort is BOOL and self.value == 1
+
+    def is_false(self) -> bool:
+        return self.kind == CONST and self.sort is BOOL and self.value == 0
+
+    def is_bool(self) -> bool:
+        return self.sort is BOOL
+
+    def is_bv(self) -> bool:
+        return isinstance(self.sort, BVSort)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """Names of all variables occurring in this expression (cached)."""
+        cached = self._vars
+        if cached is None:
+            if self.kind == VAR:
+                cached = frozenset((self.name,))
+            elif not self.children:
+                cached = frozenset()
+            else:
+                acc: set[str] = set()
+                for child in self.children:
+                    acc |= child.variables
+                cached = frozenset(acc)
+            self._vars = cached
+        return cached
+
+    @property
+    def depth(self) -> int:
+        """Longest path from this node to a leaf (cached)."""
+        cached = self._depth
+        if cached is None:
+            cached = 1 + max((c.depth for c in self.children), default=0)
+            self._depth = cached
+        return cached
+
+    def is_symbolic(self) -> bool:
+        """True iff the expression depends on at least one variable."""
+        return bool(self.variables)
+
+    def iter_nodes(self) -> Iterator["Expr"]:
+        """Iterate over the DAG's distinct nodes (preorder, deduplicated)."""
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.eid in seen:
+                continue
+            seen.add(node.eid)
+            yield node
+            stack.extend(node.children)
+
+    def node_count(self) -> int:
+        """Number of distinct DAG nodes."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def ite_count(self) -> int:
+        """Number of distinct ITE nodes in the DAG (QCE cost diagnostics)."""
+        return sum(1 for n in self.iter_nodes() if n.kind == ITE)
+
+    # -- printing ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        from .printer import to_str
+
+        return to_str(self, max_depth=6)

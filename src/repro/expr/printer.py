@@ -1,0 +1,152 @@
+"""Human-readable and SMT-LIB printers for expressions."""
+
+from __future__ import annotations
+
+from . import nodes as N
+from .nodes import Expr
+from .sorts import to_signed
+
+_INFIX = {
+    N.ADD: "+",
+    N.SUB: "-",
+    N.MUL: "*",
+    N.UDIV: "/u",
+    N.UREM: "%u",
+    N.SDIV: "/s",
+    N.SREM: "%s",
+    N.BVAND: "&",
+    N.BVOR: "|",
+    N.BVXOR: "^",
+    N.SHL: "<<",
+    N.LSHR: ">>u",
+    N.ASHR: ">>s",
+    N.EQ: "==",
+    N.ULT: "<u",
+    N.ULE: "<=u",
+    N.SLT: "<s",
+    N.SLE: "<=s",
+    N.AND: "&&",
+    N.OR: "||",
+    N.XOR: "!=b",
+}
+
+
+def to_str(expr: Expr, max_depth: int = 0) -> str:
+    """Render an expression as compact infix text.
+
+    ``max_depth`` > 0 elides deeper subtrees with ``…`` (used by __repr__
+    to keep huge merged-state stores printable).
+    """
+
+    def render(e: Expr, depth: int) -> str:
+        if max_depth and depth > max_depth:
+            return "…"
+        kind = e.kind
+        if kind == N.CONST:
+            if e.is_bool():
+                return "true" if e.value else "false"
+            signed = to_signed(e.value, e.width)
+            return str(e.value if e.value == signed else signed)
+        if kind == N.VAR:
+            return e.name
+        if kind == N.NOT:
+            return f"!{render(e.children[0], depth + 1)}"
+        if kind == N.NEG:
+            return f"-{render(e.children[0], depth + 1)}"
+        if kind == N.BVNOT:
+            return f"~{render(e.children[0], depth + 1)}"
+        if kind == N.ITE:
+            c, t, f = (render(x, depth + 1) for x in e.children)
+            return f"ite({c}, {t}, {f})"
+        if kind == N.ZEXT:
+            return f"zext{e.params[0]}({render(e.children[0], depth + 1)})"
+        if kind == N.SEXT:
+            return f"sext{e.params[0]}({render(e.children[0], depth + 1)})"
+        if kind == N.EXTRACT:
+            hi, lo = e.params
+            return f"{render(e.children[0], depth + 1)}[{hi}:{lo}]"
+        if kind == N.CONCAT:
+            a, b = (render(x, depth + 1) for x in e.children)
+            return f"({a} :: {b})"
+        op = _INFIX.get(kind)
+        if op is not None:
+            a, b = (render(x, depth + 1) for x in e.children)
+            return f"({a} {op} {b})"
+        raise AssertionError(f"unhandled kind {kind!r}")
+
+    return render(expr, 1)
+
+
+_SMT_OPS = {
+    N.ADD: "bvadd",
+    N.SUB: "bvsub",
+    N.MUL: "bvmul",
+    N.UDIV: "bvudiv",
+    N.UREM: "bvurem",
+    N.SDIV: "bvsdiv",
+    N.SREM: "bvsrem",
+    N.NEG: "bvneg",
+    N.BVAND: "bvand",
+    N.BVOR: "bvor",
+    N.BVXOR: "bvxor",
+    N.BVNOT: "bvnot",
+    N.SHL: "bvshl",
+    N.LSHR: "bvlshr",
+    N.ASHR: "bvashr",
+    N.EQ: "=",
+    N.ULT: "bvult",
+    N.ULE: "bvule",
+    N.SLT: "bvslt",
+    N.SLE: "bvsle",
+    N.NOT: "not",
+    N.AND: "and",
+    N.OR: "or",
+    N.XOR: "xor",
+    N.ITE: "ite",
+    N.CONCAT: "concat",
+}
+
+
+def to_smtlib(expr: Expr) -> str:
+    """Render an expression as an SMT-LIB 2 term (QF_BV).
+
+    Provided for interoperability/debugging: the output can be fed to any
+    external SMT solver to cross-check our built-in solver.
+    """
+    if expr.kind == N.CONST:
+        if expr.is_bool():
+            return "true" if expr.value else "false"
+        return f"(_ bv{expr.value} {expr.width})"
+    if expr.kind == N.VAR:
+        return expr.name
+    if expr.kind == N.ZEXT:
+        pad = expr.params[0] - expr.children[0].width
+        return f"((_ zero_extend {pad}) {to_smtlib(expr.children[0])})"
+    if expr.kind == N.SEXT:
+        pad = expr.params[0] - expr.children[0].width
+        return f"((_ sign_extend {pad}) {to_smtlib(expr.children[0])})"
+    if expr.kind == N.EXTRACT:
+        hi, lo = expr.params
+        return f"((_ extract {hi} {lo}) {to_smtlib(expr.children[0])})"
+    op = _SMT_OPS[expr.kind]
+    args = " ".join(to_smtlib(c) for c in expr.children)
+    return f"({op} {args})"
+
+
+def to_smtlib_script(assertions: list[Expr]) -> str:
+    """A complete SMT-LIB script asserting the given booleans."""
+    decls: dict[str, Expr] = {}
+    for a in assertions:
+        for node in a.iter_nodes():
+            if node.kind == N.VAR:
+                decls.setdefault(node.name, node)
+    lines = ["(set-logic QF_BV)"]
+    for name in sorted(decls):
+        node = decls[name]
+        sort = "Bool" if node.is_bool() else f"(_ BitVec {node.width})"
+        lines.append(f"(declare-const {name} {sort})")
+    for a in assertions:
+        lines.append(f"(assert {to_smtlib(a)})")
+    lines.append("(check-sat)")
+    lines.append("(get-model)")
+    return "\n".join(lines)

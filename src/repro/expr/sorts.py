@@ -1,0 +1,85 @@
+"""Sorts (types) for symbolic expressions.
+
+The expression language is a quantifier-free bitvector + boolean logic,
+mirroring the fragment KLEE/STP use.  Arrays are deliberately absent: the
+engine's memory model expands symbolic-index accesses into ite-chains over
+fixed-size arrays, which keeps the solver scalar (see ``repro.engine.mem``).
+"""
+
+from __future__ import annotations
+
+
+class Sort:
+    """Base class for expression sorts."""
+
+    __slots__ = ()
+
+    def is_bool(self) -> bool:
+        return isinstance(self, BoolSort)
+
+    def is_bv(self) -> bool:
+        return isinstance(self, BVSort)
+
+
+class BoolSort(Sort):
+    """The boolean sort."""
+
+    __slots__ = ()
+    _instance: "BoolSort | None" = None
+
+    def __new__(cls) -> "BoolSort":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+
+class BVSort(Sort):
+    """Fixed-width bitvector sort."""
+
+    __slots__ = ("width",)
+    _cache: dict[int, "BVSort"] = {}
+
+    def __new__(cls, width: int) -> "BVSort":
+        cached = cls._cache.get(width)
+        if cached is not None:
+            return cached
+        if width <= 0:
+            raise ValueError(f"bitvector width must be positive, got {width}")
+        inst = super().__new__(cls)
+        inst.width = width
+        cls._cache[width] = inst
+        return inst
+
+    def __repr__(self) -> str:
+        return f"BV{self.width}"
+
+    @property
+    def mask(self) -> int:
+        """All-ones value for this width."""
+        return (1 << self.width) - 1
+
+    @property
+    def sign_bit(self) -> int:
+        """Value of the most significant bit."""
+        return 1 << (self.width - 1)
+
+
+BOOL = BoolSort()
+BV8 = BVSort(8)
+BV16 = BVSort(16)
+BV32 = BVSort(32)
+BV64 = BVSort(64)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit value as two's complement."""
+    sign = 1 << (width - 1)
+    return value - (1 << width) if value & sign else value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Normalize a Python int to an unsigned ``width``-bit value."""
+    return value & ((1 << width) - 1)

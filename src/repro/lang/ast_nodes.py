@@ -1,0 +1,182 @@
+"""AST node definitions for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .types import ArrayType, ScalarType
+
+
+@dataclass(frozen=True)
+class Node:
+    line: int
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class CharLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class StringLit(Node):
+    value: bytes
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    ident: str
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str  # '-', '!', '~'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str  # arithmetic/relational/bitwise, incl. '&&' and '||'
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Ternary(Node):
+    cond: "Expr"
+    then_expr: "Expr"
+    else_expr: "Expr"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    func: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    target: "Expr"  # Name or Index
+    op: str  # '=', '+=', ...
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class IncDec(Node):
+    target: "Expr"
+    op: str  # '++' or '--'
+    prefix: bool
+
+
+Expr = (
+    IntLit | CharLit | StringLit | Name | Index | Unary | Binary | Ternary | Call | Assign | IncDec
+)
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class VarDecl(Node):
+    name: str
+    var_type: ScalarType | ArrayType
+    init: Expr | None  # scalar initializer
+    array_init: bytes | tuple[int, ...] | None  # string/list initializer
+
+
+@dataclass(frozen=True)
+class If(Node):
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class While(Node):
+    cond: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class DoWhile(Node):
+    cond: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class For(Node):
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class AssertStmt(Node):
+    cond: Expr
+
+
+@dataclass(frozen=True)
+class Halt(Node):
+    code: Expr | None
+
+
+Stmt = (
+    ExprStmt | VarDecl | If | While | DoWhile | For | Break | Continue | Return | AssertStmt | Halt
+)
+
+
+# -- top level ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param(Node):
+    name: str
+    param_type: ScalarType | ArrayType
+
+
+@dataclass(frozen=True)
+class FuncDef(Node):
+    name: str
+    return_type: ScalarType | None  # None = void
+    params: tuple[Param, ...]
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    functions: tuple[FuncDef, ...] = field(default_factory=tuple)
+    globals: tuple[VarDecl, ...] = field(default_factory=tuple)

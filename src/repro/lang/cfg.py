@@ -1,0 +1,323 @@
+"""Control-flow-graph IR for MiniC.
+
+Lowered code is three-address-ish: instruction operands are pure
+:mod:`repro.expr` trees whose ``VAR`` nodes name *program variables*
+(scalars: function locals, params, temps ``%tN``, globals ``g$name``).
+Memory traffic is explicit via ``ILoad``/``IStore`` on named arrays, so
+both the symbolic executor and the QCE static analysis see exactly where
+solver-relevant dereferences happen — mirroring the paper's LLVM view.
+
+2-D arrays (the symbolic ``argv``) are supported through :class:`MemRef`
+row views: ``argv[i][j]`` loads from ``MemRef('argv', row=i)`` at index
+``j``; ``argv[i]`` passed to a function becomes a by-reference row view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..expr.nodes import Expr
+from .types import ArrayType, ScalarType
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A reference to a 1-D array or to one row of a 2-D array."""
+
+    array: str
+    row: Expr | None = None  # row index expression for 2-D arrays
+
+    def __str__(self) -> str:
+        return self.array if self.row is None else f"{self.array}[{self.row}]"
+
+
+# -- instructions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IAssign:
+    dst: str
+    expr: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ILoad:
+    dst: str
+    ref: MemRef
+    index: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IStore:
+    ref: MemRef
+    index: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ICall:
+    dst: str | None
+    func: str
+    args: tuple  # Expr (scalar) or MemRef (array) per parameter
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IPutc:
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IAssert:
+    cond: Expr
+    line: int = 0
+
+
+Instr = IAssign | ILoad | IStore | ICall | IPutc | IAssert
+
+
+# -- terminators -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TBr:
+    cond: Expr
+    then_label: str
+    else_label: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TJmp:
+    label: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TRet:
+    value: Expr | None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class THalt:
+    code: Expr | None
+    line: int = 0
+
+
+Terminator = TBr | TJmp | TRet | THalt
+
+
+@dataclass
+class Block:
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+    term: Terminator | None = None
+
+    def successors(self) -> tuple[str, ...]:
+        t = self.term
+        if isinstance(t, TBr):
+            return (t.then_label, t.else_label)
+        if isinstance(t, TJmp):
+            return (t.label,)
+        return ()
+
+
+@dataclass
+class Function:
+    name: str
+    return_type: ScalarType | None
+    params: tuple[tuple[str, ScalarType | ArrayType], ...]
+    var_types: dict[str, ScalarType | ArrayType]
+    blocks: dict[str, Block]
+    entry: str
+
+    # -- derived CFG structure (computed lazily, cached) ----------------------
+
+    def __post_init__(self) -> None:
+        self._rpo: list[str] | None = None
+        self._preds: dict[str, list[str]] | None = None
+        self._idom: dict[str, str | None] | None = None
+        self._loops: list["Loop"] | None = None
+
+    def predecessors(self) -> dict[str, list[str]]:
+        if self._preds is None:
+            preds: dict[str, list[str]] = {label: [] for label in self.blocks}
+            for label, block in self.blocks.items():
+                for succ in block.successors():
+                    preds[succ].append(label)
+            self._preds = preds
+        return self._preds
+
+    def reverse_postorder(self) -> list[str]:
+        """Blocks in reverse postorder from the entry (topological modulo loops)."""
+        if self._rpo is None:
+            visited: set[str] = set()
+            order: list[str] = []
+
+            def dfs(label: str) -> None:
+                stack = [(label, iter(self.blocks[label].successors()))]
+                visited.add(label)
+                while stack:
+                    current, succs = stack[-1]
+                    advanced = False
+                    for s in succs:
+                        if s not in visited:
+                            visited.add(s)
+                            stack.append((s, iter(self.blocks[s].successors())))
+                            advanced = True
+                            break
+                    if not advanced:
+                        order.append(current)
+                        stack.pop()
+
+            dfs(self.entry)
+            order.reverse()
+            self._rpo = order
+        return self._rpo
+
+    def rpo_index(self) -> dict[str, int]:
+        return {label: i for i, label in enumerate(self.reverse_postorder())}
+
+    def immediate_dominators(self) -> dict[str, str | None]:
+        """Cooper–Harvey–Kennedy iterative dominator computation."""
+        if self._idom is not None:
+            return self._idom
+        rpo = self.reverse_postorder()
+        index = {label: i for i, label in enumerate(rpo)}
+        preds = self.predecessors()
+        idom: dict[str, str | None] = {label: None for label in rpo}
+        idom[self.entry] = self.entry
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == self.entry:
+                    continue
+                candidates = [p for p in preds[label] if idom.get(p) is not None and p in index]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for p in candidates[1:]:
+                    new_idom = intersect(new_idom, p)
+                if idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[self.entry] = None
+        self._idom = idom
+        return idom
+
+    def dominates(self, a: str, b: str) -> bool:
+        idom = self.immediate_dominators()
+        node: str | None = b
+        while node is not None:
+            if node == a:
+                return True
+            node = idom.get(node)
+        return False
+
+    def natural_loops(self) -> list["Loop"]:
+        """Natural loops from back edges (tail -> header it dominates)."""
+        if self._loops is not None:
+            return self._loops
+        preds = self.predecessors()
+        loops: dict[str, Loop] = {}
+        reachable = set(self.reverse_postorder())
+        for label in reachable:
+            for succ in self.blocks[label].successors():
+                if succ in reachable and self.dominates(succ, label):
+                    loop = loops.setdefault(succ, Loop(header=succ))
+                    loop.back_edges.append(label)
+                    # Collect the loop body: nodes reaching the tail without
+                    # passing through the header.
+                    body = {succ, label}
+                    stack = [label]
+                    while stack:
+                        node = stack.pop()
+                        if node == succ:
+                            continue
+                        for p in preds[node]:
+                            if p not in body:
+                                body.add(p)
+                                stack.append(p)
+                    loop.body |= body
+        self._loops = list(loops.values())
+        return self._loops
+
+
+@dataclass
+class Loop:
+    header: str
+    back_edges: list[str] = field(default_factory=list)
+    body: set[str] = field(default_factory=set)
+
+
+@dataclass
+class Module:
+    functions: dict[str, Function]
+    # global name -> (type, scalar init value or array init tuple)
+    globals: dict[str, tuple[ScalarType | ArrayType, object]]
+    source_name: str = "<module>"
+
+    def function(self, name: str) -> Function:
+        fn = self.functions.get(name)
+        if fn is None:
+            raise KeyError(f"no function {name!r} in module {self.source_name}")
+        return fn
+
+
+def instr_uses(instr: Instr | Terminator) -> frozenset[str]:
+    """Scalar variables read by an instruction (arrays appear via loads)."""
+    if isinstance(instr, IAssign):
+        return instr.expr.variables
+    if isinstance(instr, ILoad):
+        vars_ = instr.index.variables
+        if instr.ref.row is not None:
+            vars_ |= instr.ref.row.variables
+        return vars_
+    if isinstance(instr, IStore):
+        vars_ = instr.index.variables | instr.value.variables
+        if instr.ref.row is not None:
+            vars_ |= instr.ref.row.variables
+        return vars_
+    if isinstance(instr, ICall):
+        out: set[str] = set()
+        for a in instr.args:
+            if isinstance(a, MemRef):
+                if a.row is not None:
+                    out |= a.row.variables
+            else:
+                out |= a.variables
+        return frozenset(out)
+    if isinstance(instr, (IPutc,)):
+        return instr.value.variables
+    if isinstance(instr, IAssert):
+        return instr.cond.variables
+    if isinstance(instr, TBr):
+        return instr.cond.variables
+    if isinstance(instr, (TRet, THalt)):
+        value = instr.value if isinstance(instr, TRet) else instr.code
+        return value.variables if value is not None else frozenset()
+    return frozenset()
+
+
+def instr_def(instr: Instr) -> str | None:
+    """The scalar variable written by an instruction, if any."""
+    if isinstance(instr, (IAssign, ILoad)):
+        return instr.dst
+    if isinstance(instr, ICall):
+        return instr.dst
+    return None

@@ -1,0 +1,658 @@
+"""Lowering from the MiniC AST to the CFG IR.
+
+Semantics notes (kept deliberately close to C as compiled by clang -O0,
+which is what the paper's KLEE prototype consumed):
+
+* ``int`` arithmetic is 32-bit two's complement; ``char`` is unsigned 8-bit
+  and promotes to ``int`` (zero-extension) in expressions.
+* ``&&``/``||`` short-circuit via CFG splits — *except* when both operands
+  are pure scalar expressions, in which case they lower to a single boolean
+  expression (mirroring LLVM's ``select``/``and`` canonicalization).  This
+  matters for symbolic execution: impure conditions must not evaluate their
+  right-hand side eagerly (out-of-bounds reads!), while pure ones should
+  not waste a feasibility query per conjunct.
+* Scalars are function-scoped and zero-initialized (no UB on uninitialized
+  reads); arrays zero-fill unless initialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..expr import ops
+from ..expr.nodes import Expr
+from . import ast_nodes as A
+from .cfg import (
+    Block,
+    Function,
+    IAssert,
+    IAssign,
+    ICall,
+    ILoad,
+    IPutc,
+    IStore,
+    MemRef,
+    Module,
+    TBr,
+    THalt,
+    TJmp,
+    TRet,
+)
+from .types import CHAR, INT, UINT, Array2DType, ArrayType, ScalarType
+
+
+class LowerError(Exception):
+    """A semantic error found while lowering (type mismatch, bad name, ...)."""
+
+
+BUILTINS = {"putchar"}
+
+
+@dataclass
+class _ModuleCtx:
+    globals: dict[str, tuple] = field(default_factory=dict)
+    string_pool: dict[bytes, str] = field(default_factory=dict)
+    functions: dict[str, A.FuncDef] = field(default_factory=dict)
+
+    def intern_string(self, data: bytes) -> str:
+        name = self.string_pool.get(data)
+        if name is None:
+            name = f"g$str{len(self.string_pool)}"
+            self.string_pool[data] = name
+            self.globals[name] = (ArrayType(CHAR, len(data) + 1), data + b"\x00")
+        return name
+
+
+def _convert(value: Expr, from_type: ScalarType, to_type: ScalarType) -> Expr:
+    """Width/signedness conversion between scalar types."""
+    if from_type.width == to_type.width:
+        return value
+    if from_type.width < to_type.width:
+        if from_type.signed:
+            return ops.sext(value, to_type.width)
+        return ops.zext(value, to_type.width)
+    return ops.extract(value, to_type.width - 1, 0)
+
+
+def _promote(value: Expr, from_type: ScalarType) -> tuple[Expr, ScalarType]:
+    """C integer promotion: everything below int widens to int."""
+    if from_type.width < 32:
+        return _convert(value, from_type, INT), INT
+    return value, from_type
+
+
+class _FunctionLowerer:
+    def __init__(self, ctx: _ModuleCtx, funcdef: A.FuncDef):
+        self.ctx = ctx
+        self.funcdef = funcdef
+        self.blocks: dict[str, Block] = {}
+        self.var_types: dict[str, ScalarType | ArrayType | Array2DType] = {}
+        self.array_inits: dict[str, bytes | tuple[int, ...]] = {}
+        self.temp_count = 0
+        self.block_count = 0
+        self.break_stack: list[str] = []
+        self.continue_stack: list[str] = []
+        self.current: Block | None = None
+
+        for param in funcdef.params:
+            if param.name in self.var_types:
+                raise LowerError(f"duplicate parameter {param.name!r} in {funcdef.name}")
+            self.var_types[param.name] = param.param_type
+
+    # -- block plumbing ------------------------------------------------------
+
+    def new_block(self, hint: str) -> Block:
+        label = f"{hint}{self.block_count}"
+        self.block_count += 1
+        block = Block(label)
+        self.blocks[label] = block
+        return block
+
+    def switch_to(self, block: Block) -> None:
+        self.current = block
+
+    def emit(self, instr) -> None:
+        assert self.current is not None and self.current.term is None
+        self.current.instrs.append(instr)
+
+    def terminate(self, term) -> None:
+        assert self.current is not None
+        if self.current.term is None:
+            self.current.term = term
+
+    def new_temp(self, scalar: ScalarType) -> str:
+        name = f"%t{self.temp_count}"
+        self.temp_count += 1
+        self.var_types[name] = scalar
+        return name
+
+    # -- name resolution -------------------------------------------------------
+
+    def resolve(self, name: str):
+        """Returns (ir_name, type) looking through locals then globals."""
+        local = self.var_types.get(name)
+        if local is not None:
+            return name, local
+        g = self.ctx.globals.get(f"g${name}")
+        if g is not None:
+            return f"g${name}", g[0]
+        raise LowerError(f"undefined name {name!r} in {self.funcdef.name} (line?)")
+
+    # -- purity ---------------------------------------------------------------
+
+    def is_pure(self, e: A.Expr) -> bool:
+        if isinstance(e, (A.IntLit, A.CharLit)):
+            return True
+        if isinstance(e, A.Name):
+            _, t = self.resolve(e.ident)
+            return isinstance(t, ScalarType)
+        if isinstance(e, A.Unary):
+            return self.is_pure(e.operand)
+        if isinstance(e, A.Binary):
+            return self.is_pure(e.left) and self.is_pure(e.right)
+        if isinstance(e, A.Ternary):
+            return self.is_pure(e.cond) and self.is_pure(e.then_expr) and self.is_pure(e.else_expr)
+        return False
+
+    # -- value context -----------------------------------------------------------
+
+    def lower_value(self, e: A.Expr) -> tuple[Expr, ScalarType]:
+        if isinstance(e, A.IntLit):
+            return ops.bv(e.value, 32), INT
+        if isinstance(e, A.CharLit):
+            return ops.bv(e.value, 32), INT  # char literals are ints in C
+        if isinstance(e, A.StringLit):
+            raise LowerError(f"string literal in value context (line {e.line})")
+        if isinstance(e, A.Name):
+            ir_name, t = self.resolve(e.ident)
+            if not isinstance(t, ScalarType):
+                raise LowerError(f"array {e.ident!r} used as scalar (line {e.line})")
+            return ops.bv_var(ir_name, t.width), t
+        if isinstance(e, A.Index):
+            ref, elem = self.lower_ref_index(e)
+            dst = self.new_temp(elem)
+            self.emit(ILoad(dst, ref[0], ref[1], line=e.line))
+            return ops.bv_var(dst, elem.width), elem
+        if isinstance(e, A.Unary):
+            return self.lower_unary(e)
+        if isinstance(e, A.Binary):
+            return self.lower_binary(e)
+        if isinstance(e, A.Ternary):
+            if self.is_pure(e):
+                cond = self.bool_of(e.cond)
+                tv, tt = self.lower_value(e.then_expr)
+                ev, et = self.lower_value(e.else_expr)
+                tv, tt = _promote(tv, tt)
+                ev, et = _promote(ev, et)
+                result_type = tt if tt == et else (UINT if not (tt.signed and et.signed) else INT)
+                return ops.ite(cond, tv, ev), result_type
+            return self.lower_impure_ternary(e)
+        if isinstance(e, A.Call):
+            return self.lower_call(e, want_value=True)
+        if isinstance(e, A.Assign):
+            return self.lower_assign(e)
+        if isinstance(e, A.IncDec):
+            return self.lower_incdec(e)
+        raise LowerError(f"cannot lower expression {e!r}")
+
+    def lower_unary(self, e: A.Unary) -> tuple[Expr, ScalarType]:
+        value, t = self.lower_value(e.operand)
+        value, t = _promote(value, t)
+        if e.op == "-":
+            return ops.neg(value), t
+        if e.op == "~":
+            return ops.bvnot(value), t
+        if e.op == "!":
+            cond = ops.eq(value, ops.bv(0, t.width))
+            return ops.ite(cond, ops.bv(1, 32), ops.bv(0, 32)), INT
+        raise LowerError(f"unknown unary operator {e.op!r}")
+
+    _CMP_OPS = {"==", "!=", "<", ">", "<=", ">="}
+
+    def lower_binary(self, e: A.Binary) -> tuple[Expr, ScalarType]:
+        if e.op in ("&&", "||"):
+            if self.is_pure(e):
+                cond = self.bool_of(e)
+                return ops.ite(cond, ops.bv(1, 32), ops.bv(0, 32)), INT
+            return self.lower_impure_logical(e)
+        if e.op in self._CMP_OPS:
+            cond = self.cmp_bool(e)
+            return ops.ite(cond, ops.bv(1, 32), ops.bv(0, 32)), INT
+        lv, lt = self.lower_value(e.left)
+        rv, rt = self.lower_value(e.right)
+        lv, lt = _promote(lv, lt)
+        rv, rt = _promote(rv, rt)
+        result_type = UINT if (not lt.signed or not rt.signed) else INT
+        op = e.op
+        if op == "+":
+            return ops.add(lv, rv), result_type
+        if op == "-":
+            return ops.sub(lv, rv), result_type
+        if op == "*":
+            return ops.mul(lv, rv), result_type
+        if op == "/":
+            return (ops.udiv(lv, rv) if not result_type.signed else ops.sdiv(lv, rv)), result_type
+        if op == "%":
+            return (ops.urem(lv, rv) if not result_type.signed else ops.srem(lv, rv)), result_type
+        if op == "&":
+            return ops.bvand(lv, rv), result_type
+        if op == "|":
+            return ops.bvor(lv, rv), result_type
+        if op == "^":
+            return ops.bvxor(lv, rv), result_type
+        if op == "<<":
+            return ops.shl(lv, rv), result_type
+        if op == ">>":
+            return (ops.ashr(lv, rv) if result_type.signed else ops.lshr(lv, rv)), result_type
+        raise LowerError(f"unknown binary operator {op!r}")
+
+    def cmp_bool(self, e: A.Binary) -> Expr:
+        lv, lt = self.lower_value(e.left)
+        rv, rt = self.lower_value(e.right)
+        lv, lt = _promote(lv, lt)
+        rv, rt = _promote(rv, rt)
+        signed = lt.signed and rt.signed
+        op = e.op
+        if op == "==":
+            return ops.eq(lv, rv)
+        if op == "!=":
+            return ops.ne(lv, rv)
+        if op == "<":
+            return ops.slt(lv, rv) if signed else ops.ult(lv, rv)
+        if op == ">":
+            return ops.sgt(lv, rv) if signed else ops.ugt(lv, rv)
+        if op == "<=":
+            return ops.sle(lv, rv) if signed else ops.ule(lv, rv)
+        if op == ">=":
+            return ops.sge(lv, rv) if signed else ops.uge(lv, rv)
+        raise AssertionError(op)
+
+    def bool_of(self, e: A.Expr) -> Expr:
+        """Boolean expression for a *pure* condition (no instruction emission
+        for logical operators; comparisons may still emit loads for operands)."""
+        if isinstance(e, A.Binary) and e.op == "&&":
+            return ops.and_(self.bool_of(e.left), self.bool_of(e.right))
+        if isinstance(e, A.Binary) and e.op == "||":
+            return ops.or_(self.bool_of(e.left), self.bool_of(e.right))
+        if isinstance(e, A.Unary) and e.op == "!":
+            return ops.not_(self.bool_of(e.operand))
+        if isinstance(e, A.Binary) and e.op in self._CMP_OPS:
+            return self.cmp_bool(e)
+        value, t = self.lower_value(e)
+        return ops.ne(value, ops.bv(0, t.width))
+
+    def lower_impure_logical(self, e: A.Binary) -> tuple[Expr, ScalarType]:
+        result = self.new_temp(INT)
+        true_block = self.new_block("land_t")
+        false_block = self.new_block("land_f")
+        join = self.new_block("land_j")
+        self.lower_cond(e, true_block.label, false_block.label)
+        self.switch_to(true_block)
+        self.emit(IAssign(result, ops.bv(1, 32), line=e.line))
+        self.terminate(TJmp(join.label, line=e.line))
+        self.switch_to(false_block)
+        self.emit(IAssign(result, ops.bv(0, 32), line=e.line))
+        self.terminate(TJmp(join.label, line=e.line))
+        self.switch_to(join)
+        return ops.bv_var(result, 32), INT
+
+    def lower_impure_ternary(self, e: A.Ternary) -> tuple[Expr, ScalarType]:
+        then_block = self.new_block("tern_t")
+        else_block = self.new_block("tern_f")
+        join = self.new_block("tern_j")
+        self.lower_cond(e.cond, then_block.label, else_block.label)
+        self.switch_to(then_block)
+        tv, tt = self.lower_value(e.then_expr)
+        tv, tt = _promote(tv, tt)
+        result = self.new_temp(tt)
+        self.emit(IAssign(result, tv, line=e.line))
+        self.terminate(TJmp(join.label, line=e.line))
+        self.switch_to(else_block)
+        ev, et = self.lower_value(e.else_expr)
+        ev, et = _promote(ev, et)
+        self.emit(IAssign(result, _convert(ev, et, tt), line=e.line))
+        self.terminate(TJmp(join.label, line=e.line))
+        self.switch_to(join)
+        return ops.bv_var(result, tt.width), tt
+
+    # -- lvalues and arrays --------------------------------------------------------
+
+    def lower_ref_index(self, e: A.Index) -> tuple[tuple[MemRef, Expr], ScalarType]:
+        """Lower an Index AST node to (MemRef, flat index expr) + element type."""
+        base = e.base
+        if isinstance(base, A.Name):
+            ir_name, t = self.resolve(base.ident)
+            index, it = self.lower_value(e.index)
+            index, _ = _promote(index, it)
+            if isinstance(t, ArrayType):
+                return (MemRef(ir_name), index), t.element
+            if isinstance(t, Array2DType):
+                raise LowerError(
+                    f"2-D array {base.ident!r} needs two indices (line {e.line})"
+                )
+            raise LowerError(f"indexing non-array {base.ident!r} (line {e.line})")
+        if isinstance(base, A.Index) and isinstance(base.base, A.Name):
+            ir_name, t = self.resolve(base.base.ident)
+            if not isinstance(t, Array2DType):
+                raise LowerError(f"too many indices on {base.base.ident!r} (line {e.line})")
+            row, rt = self.lower_value(base.index)
+            row, _ = _promote(row, rt)
+            index, it = self.lower_value(e.index)
+            index, _ = _promote(index, it)
+            return (MemRef(ir_name, row), index), t.element
+        raise LowerError(f"unsupported array reference (line {e.line})")
+
+    def lower_array_arg(self, e: A.Expr) -> MemRef:
+        if isinstance(e, A.StringLit):
+            return MemRef(self.ctx.intern_string(e.value))
+        if isinstance(e, A.Name):
+            ir_name, t = self.resolve(e.ident)
+            if isinstance(t, (ArrayType, Array2DType)):
+                return MemRef(ir_name)
+            raise LowerError(f"scalar {e.ident!r} passed where array expected (line {e.line})")
+        if isinstance(e, A.Index) and isinstance(e.base, A.Name):
+            ir_name, t = self.resolve(e.base.ident)
+            if isinstance(t, Array2DType):
+                row, rt = self.lower_value(e.index)
+                row, _ = _promote(row, rt)
+                return MemRef(ir_name, row)
+        raise LowerError(f"unsupported array argument (line {e.line})")
+
+    # -- assignment-like expressions --------------------------------------------------
+
+    _COMPOUND = {
+        "+=": "+",
+        "-=": "-",
+        "*=": "*",
+        "/=": "/",
+        "%=": "%",
+        "&=": "&",
+        "|=": "|",
+        "^=": "^",
+        "<<=": "<<",
+        ">>=": ">>",
+    }
+
+    def lower_assign(self, e: A.Assign) -> tuple[Expr, ScalarType]:
+        if e.op == "=":
+            value_ast = e.value
+        else:
+            value_ast = A.Binary(e.line, self._COMPOUND[e.op], e.target, e.value)
+        value, vt = self.lower_value(value_ast)
+        return self.store_to(e.target, value, vt, e.line)
+
+    def lower_incdec(self, e: A.IncDec) -> tuple[Expr, ScalarType]:
+        old, t = self.lower_value(e.target)
+        delta = ops.bv(1, 32)
+        new_val = ops.add(_promote(old, t)[0], delta) if e.op == "++" else ops.sub(
+            _promote(old, t)[0], delta
+        )
+        stored, st = self.store_to(e.target, new_val, INT, e.line)
+        if e.prefix:
+            return stored, st
+        return old, t
+
+    def store_to(self, target: A.Expr, value: Expr, vt: ScalarType, line: int):
+        if isinstance(target, A.Name):
+            ir_name, t = self.resolve(target.ident)
+            if not isinstance(t, ScalarType):
+                raise LowerError(f"cannot assign to array {target.ident!r} (line {line})")
+            converted = _convert(value, vt, t)
+            self.emit(IAssign(ir_name, converted, line=line))
+            return ops.bv_var(ir_name, t.width), t
+        if isinstance(target, A.Index):
+            (ref, index), elem = self.lower_ref_index(target)
+            converted = _convert(value, vt, elem)
+            self.emit(IStore(ref, index, converted, line=line))
+            return converted, elem
+        raise LowerError(f"invalid assignment target (line {line})")
+
+    # -- calls -------------------------------------------------------------------
+
+    def lower_call(self, e: A.Call, want_value: bool) -> tuple[Expr, ScalarType]:
+        if e.func == "putchar":
+            if len(e.args) != 1:
+                raise LowerError(f"putchar takes 1 argument (line {e.line})")
+            value, t = self.lower_value(e.args[0])
+            byte = _convert(value, t, CHAR)
+            self.emit(IPutc(byte, line=e.line))
+            return _convert(byte, CHAR, INT), INT
+        callee = self.ctx.functions.get(e.func)
+        if callee is None:
+            raise LowerError(f"call to undefined function {e.func!r} (line {e.line})")
+        if len(e.args) != len(callee.params):
+            raise LowerError(
+                f"{e.func} expects {len(callee.params)} args, got {len(e.args)} (line {e.line})"
+            )
+        lowered_args: list = []
+        for arg, param in zip(e.args, callee.params):
+            if isinstance(param.param_type, (ArrayType, Array2DType)):
+                lowered_args.append(self.lower_array_arg(arg))
+            else:
+                value, t = self.lower_value(arg)
+                lowered_args.append(_convert(value, t, param.param_type))
+        if callee.return_type is None:
+            self.emit(ICall(None, e.func, tuple(lowered_args), line=e.line))
+            if want_value:
+                raise LowerError(f"void function {e.func!r} used as value (line {e.line})")
+            return ops.bv(0, 32), INT
+        dst = self.new_temp(callee.return_type)
+        self.emit(ICall(dst, e.func, tuple(lowered_args), line=e.line))
+        return ops.bv_var(dst, callee.return_type.width), callee.return_type
+
+    # -- conditions ----------------------------------------------------------------
+
+    def lower_cond(self, e: A.Expr, true_label: str, false_label: str) -> None:
+        if isinstance(e, (A.Binary, A.Unary)) and self.is_pure(e):
+            # Pure conditions (scalars only) need no short-circuit CFG: a
+            # single branch on the combined boolean keeps the symbolic
+            # executor from paying one feasibility query per conjunct.
+            self.terminate(TBr(self.bool_of(e), true_label, false_label, line=e.line))
+            return
+        if isinstance(e, A.Binary) and e.op == "&&":
+            mid = self.new_block("and")
+            self.lower_cond(e.left, mid.label, false_label)
+            self.switch_to(mid)
+            self.lower_cond(e.right, true_label, false_label)
+            return
+        if isinstance(e, A.Binary) and e.op == "||":
+            mid = self.new_block("or")
+            self.lower_cond(e.left, true_label, mid.label)
+            self.switch_to(mid)
+            self.lower_cond(e.right, true_label, false_label)
+            return
+        if isinstance(e, A.Unary) and e.op == "!":
+            self.lower_cond(e.operand, false_label, true_label)
+            return
+        if isinstance(e, A.Binary) and e.op in self._CMP_OPS:
+            cond = self.cmp_bool(e)
+            self.terminate(TBr(cond, true_label, false_label, line=e.line))
+            return
+        value, t = self.lower_value(e)
+        cond = ops.ne(value, ops.bv(0, t.width))
+        self.terminate(TBr(cond, true_label, false_label, line=e.line))
+
+    # -- statements -------------------------------------------------------------------
+
+    def lower_stmts(self, stmts) -> None:
+        for s in stmts:
+            if self.current is None or self.current.term is not None:
+                # Dead code after break/return: park it in an unreachable block
+                # so lowering still type-checks it.
+                dead = self.new_block("dead")
+                self.switch_to(dead)
+            self.lower_stmt(s)
+
+    def lower_stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.VarDecl):
+            self.lower_vardecl(s)
+        elif isinstance(s, A.ExprStmt):
+            self.lower_value_discard(s.expr)
+        elif isinstance(s, A.If):
+            then_block = self.new_block("then")
+            join = self.new_block("fi")
+            if s.else_body:
+                else_block = self.new_block("else")
+                self.lower_cond(s.cond, then_block.label, else_block.label)
+                self.switch_to(else_block)
+                self.lower_stmts(s.else_body)
+                self.terminate(TJmp(join.label))
+            else:
+                self.lower_cond(s.cond, then_block.label, join.label)
+            self.switch_to(then_block)
+            self.lower_stmts(s.then_body)
+            self.terminate(TJmp(join.label))
+            self.switch_to(join)
+        elif isinstance(s, A.While):
+            header = self.new_block("while")
+            body = self.new_block("body")
+            exit_block = self.new_block("done")
+            self.terminate(TJmp(header.label, line=s.line))
+            self.switch_to(header)
+            self.lower_cond(s.cond, body.label, exit_block.label)
+            self.break_stack.append(exit_block.label)
+            self.continue_stack.append(header.label)
+            self.switch_to(body)
+            self.lower_stmts(s.body)
+            self.terminate(TJmp(header.label))
+            self.break_stack.pop()
+            self.continue_stack.pop()
+            self.switch_to(exit_block)
+        elif isinstance(s, A.DoWhile):
+            body = self.new_block("do")
+            header = self.new_block("dowhile")
+            exit_block = self.new_block("done")
+            self.terminate(TJmp(body.label, line=s.line))
+            self.break_stack.append(exit_block.label)
+            self.continue_stack.append(header.label)
+            self.switch_to(body)
+            self.lower_stmts(s.body)
+            self.terminate(TJmp(header.label))
+            self.break_stack.pop()
+            self.continue_stack.pop()
+            self.switch_to(header)
+            self.lower_cond(s.cond, body.label, exit_block.label)
+            self.switch_to(exit_block)
+        elif isinstance(s, A.For):
+            if s.init is not None:
+                self.lower_stmt(s.init)
+            header = self.new_block("for")
+            body = self.new_block("body")
+            step_block = self.new_block("step")
+            exit_block = self.new_block("done")
+            self.terminate(TJmp(header.label, line=s.line))
+            self.switch_to(header)
+            if s.cond is not None:
+                self.lower_cond(s.cond, body.label, exit_block.label)
+            else:
+                self.terminate(TJmp(body.label))
+            self.break_stack.append(exit_block.label)
+            self.continue_stack.append(step_block.label)
+            self.switch_to(body)
+            self.lower_stmts(s.body)
+            self.terminate(TJmp(step_block.label))
+            self.break_stack.pop()
+            self.continue_stack.pop()
+            self.switch_to(step_block)
+            if s.step is not None:
+                self.lower_stmt(s.step)
+            self.terminate(TJmp(header.label))
+            self.switch_to(exit_block)
+        elif isinstance(s, A.Break):
+            if not self.break_stack:
+                raise LowerError(f"break outside loop (line {s.line})")
+            self.terminate(TJmp(self.break_stack[-1], line=s.line))
+        elif isinstance(s, A.Continue):
+            if not self.continue_stack:
+                raise LowerError(f"continue outside loop (line {s.line})")
+            self.terminate(TJmp(self.continue_stack[-1], line=s.line))
+        elif isinstance(s, A.Return):
+            if s.value is None:
+                self.terminate(TRet(None, line=s.line))
+            else:
+                value, t = self.lower_value(s.value)
+                rt = self.funcdef.return_type
+                if rt is None:
+                    raise LowerError(f"returning value from void {self.funcdef.name}")
+                self.terminate(TRet(_convert(value, t, rt), line=s.line))
+        elif isinstance(s, A.AssertStmt):
+            cond = (
+                self.bool_of(s.cond)
+                if self.is_pure(s.cond)
+                else ops.ne(self.lower_value(s.cond)[0], ops.bv(0, 32))
+            )
+            self.emit(IAssert(cond, line=s.line))
+        elif isinstance(s, A.Halt):
+            code = None
+            if s.code is not None:
+                value, t = self.lower_value(s.code)
+                code = _convert(value, t, INT)
+            self.terminate(THalt(code, line=s.line))
+        else:
+            raise LowerError(f"cannot lower statement {s!r}")
+
+    def lower_value_discard(self, e: A.Expr) -> None:
+        if isinstance(e, A.Call):
+            self.lower_call(e, want_value=False)
+        else:
+            self.lower_value(e)
+
+    def lower_vardecl(self, s: A.VarDecl) -> None:
+        existing = self.var_types.get(s.name)
+        if existing is not None:
+            # Locals are function-scoped; a re-declaration with the same
+            # type (the common `for (int i = ...)` idiom) is an assignment.
+            if existing != s.var_type or isinstance(s.var_type, (ArrayType, Array2DType)):
+                raise LowerError(f"conflicting redeclaration of {s.name!r} (line {s.line})")
+        self.var_types[s.name] = s.var_type
+        if isinstance(s.var_type, (ArrayType, Array2DType)):
+            if s.array_init is not None:
+                self.array_inits[s.name] = s.array_init
+            return
+        if s.init is not None:
+            value, t = self.lower_value(s.init)
+            self.emit(IAssign(s.name, _convert(value, t, s.var_type), line=s.line))
+        else:
+            self.emit(IAssign(s.name, ops.bv(0, s.var_type.width), line=s.line))
+
+    # -- driver ----------------------------------------------------------------------
+
+    def lower(self) -> Function:
+        entry = self.new_block("entry")
+        self.switch_to(entry)
+        self.lower_stmts(self.funcdef.body)
+        if self.current is not None and self.current.term is None:
+            rt = self.funcdef.return_type
+            self.terminate(TRet(ops.bv(0, rt.width) if rt is not None else None))
+        fn = Function(
+            name=self.funcdef.name,
+            return_type=self.funcdef.return_type,
+            params=tuple((p.name, p.param_type) for p in self.funcdef.params),
+            var_types=self.var_types,
+            blocks=self.blocks,
+            entry=entry.label,
+        )
+        fn.array_inits = self.array_inits  # type: ignore[attr-defined]
+        return fn
+
+
+def lower_program(program: A.Program, source_name: str = "<module>") -> Module:
+    """Lower a parsed program to a CFG module."""
+    ctx = _ModuleCtx()
+    for g in program.globals:
+        init: object
+        if isinstance(g.var_type, (ArrayType, Array2DType)):
+            init = g.array_init
+        else:
+            if g.init is not None and not isinstance(g.init, (A.IntLit, A.CharLit)):
+                raise LowerError(f"global {g.name!r} initializer must be constant")
+            init = g.init.value if g.init is not None else 0
+        ctx.globals[f"g${g.name}"] = (g.var_type, init)
+    for f in program.functions:
+        if f.name in ctx.functions:
+            raise LowerError(f"duplicate function {f.name!r}")
+        ctx.functions[f.name] = f
+    functions = {}
+    for f in program.functions:
+        functions[f.name] = _FunctionLowerer(ctx, f).lower()
+    return Module(functions=functions, globals=ctx.globals, source_name=source_name)

@@ -1,0 +1,93 @@
+"""MiniC standard library.
+
+A small libc-alike, compiled together with every program (like KLEE's
+uclibc build).  All functions are plain MiniC so the symbolic executor
+explores them like program code — `strcmp` on a symbolic string forks,
+exactly as the paper's echo example assumes (modulo their simplification
+that strcmp does not split paths, which our corpus variants can opt into
+via `streq_len`-style bounded comparisons).
+"""
+
+STDLIB_SOURCE = """
+// Symbolic stdin model (paper §5.1: "symbolic command line arguments and
+// stdin as input").  The engine rebinds __stdin's cells to symbolic bytes
+// and __stdin_len to a bounded symbolic length when the ArgvSpec asks for
+// symbolic stdin; getchar() is ordinary MiniC over these globals.
+char __stdin[16];
+int __stdin_len = 0;
+int __stdin_pos = 0;
+
+int getchar() {
+    if (__stdin_pos >= __stdin_len) return -1;
+    int c = __stdin[__stdin_pos];
+    __stdin_pos = __stdin_pos + 1;
+    return c;
+}
+
+int strlen(char s[]) {
+    int i = 0;
+    while (s[i]) i++;
+    return i;
+}
+
+int strcmp(char a[], char b[]) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+int strncmp(char a[], char b[], int n) {
+    int i = 0;
+    while (i < n && a[i] && a[i] == b[i]) i++;
+    if (i == n) return 0;
+    return a[i] - b[i];
+}
+
+int streq(char a[], char b[]) {
+    return strcmp(a, b) == 0;
+}
+
+void strcpy0(char dst[], char src[]) {
+    int i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+}
+
+int atoi(char s[]) {
+    int i = 0;
+    int sign = 1;
+    int n = 0;
+    if (s[0] == '-') { sign = -1; i = 1; }
+    while (s[i] >= '0' && s[i] <= '9') {
+        n = n * 10 + (s[i] - '0');
+        i++;
+    }
+    return sign * n;
+}
+
+int isdigit(int c) { return c >= '0' && c <= '9'; }
+int isalpha(int c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'); }
+int isspace(int c) { return c == ' ' || c == '\\t' || c == '\\n' || c == '\\r'; }
+int isupper(int c) { return c >= 'A' && c <= 'Z'; }
+int islower(int c) { return c >= 'a' && c <= 'z'; }
+int toupper(int c) { if (c >= 'a' && c <= 'z') return c - 32; return c; }
+int tolower(int c) { if (c >= 'A' && c <= 'Z') return c + 32; return c; }
+
+void print_str(char s[]) {
+    int i = 0;
+    while (s[i]) { putchar(s[i]); i++; }
+}
+
+void print_int(int n) {
+    char buf[12];
+    int i = 0;
+    if (n < 0) { putchar('-'); n = -n; }
+    if (n == 0) { putchar('0'); return; }
+    while (n > 0) { buf[i] = '0' + n % 10; n = n / 10; i++; }
+    while (i > 0) { i--; putchar(buf[i]); }
+}
+
+int min(int a, int b) { if (a < b) return a; return b; }
+int max(int a, int b) { if (a > b) return a; return b; }
+int abs(int a) { if (a < 0) return -a; return a; }
+"""

@@ -1,0 +1,1 @@
+"""The MiniC COREUTILS-style corpus (evaluation targets, paper §5.1)."""

@@ -1,0 +1,35 @@
+"""``basename`` — Fig. 5's low-speedup tool: mostly scanning, few merges."""
+
+NAME = "basename"
+DESCRIPTION = "strip directory prefix and an optional suffix from a path"
+DEFAULT_N = 2
+DEFAULT_L = 3
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    if (argc < 2) {
+        print_str("basename: missing operand");
+        putchar('\\n');
+        return 1;
+    }
+    int start = 0;
+    int len = strlen(argv[1]);
+    // strip trailing slashes
+    while (len > 1 && argv[1][len - 1] == '/') len--;
+    for (int i = 0; i < len; i++)
+        if (argv[1][i] == '/' && i + 1 < len) start = i + 1;
+    int end = len;
+    if (argc > 2) {
+        int slen = strlen(argv[2]);
+        if (slen > 0 && slen < len - start) {
+            int match = 1;
+            for (int i = 0; i < slen; i++)
+                if (argv[1][end - slen + i] != argv[2][i]) match = 0;
+            if (match) end = end - slen;
+        }
+    }
+    for (int i = start; i < end; i++) putchar(argv[1][i]);
+    putchar('\\n');
+    return 0;
+}
+"""

@@ -1,0 +1,36 @@
+"""``cat`` — with -n (number lines) and -E (mark ends)."""
+
+NAME = "cat"
+DESCRIPTION = "concatenate args as lines; -n numbers them, -E marks line ends"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int number = 0;
+    int ends = 0;
+    int arg = 1;
+    while (arg < argc && argv[arg][0] == '-' && argv[arg][1] != 0) {
+        if (strcmp(argv[arg], "-n") == 0) number = 1;
+        else if (strcmp(argv[arg], "-E") == 0) ends = 1;
+        else {
+            print_str("cat: unknown option");
+            putchar('\\n');
+            return 1;
+        }
+        arg++;
+    }
+    int line = 1;
+    for (; arg < argc; arg++) {
+        if (number) {
+            print_int(line);
+            putchar('\\t');
+        }
+        print_str(argv[arg]);
+        if (ends) putchar('$');
+        putchar('\\n');
+        line++;
+    }
+    return 0;
+}
+"""

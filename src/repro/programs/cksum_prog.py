@@ -1,0 +1,25 @@
+"""``cksum`` — CRC-ish rolling checksum over argument bytes."""
+
+NAME = "cksum"
+DESCRIPTION = "polynomial rolling checksum + byte count of all arg bytes"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    uint crc = 0;
+    int count = 0;
+    for (int a = 1; a < argc; a++) {
+        for (int i = 0; argv[a][i]; i++) {
+            crc = (crc << 3) ^ (crc >> 13) ^ argv[a][i];
+            crc = crc & 65535;
+            count++;
+        }
+    }
+    print_int(crc);
+    putchar(' ');
+    print_int(count);
+    putchar('\\n');
+    return 0;
+}
+"""

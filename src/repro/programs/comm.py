@@ -1,0 +1,40 @@
+"""``comm`` — three-column comparison of two (sorted) argument strings."""
+
+NAME = "comm"
+DESCRIPTION = "compare chars of two args: unique-to-a, unique-to-b, common"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    if (argc != 3) {
+        print_str("comm: needs exactly two operands");
+        putchar('\\n');
+        return 1;
+    }
+    int i = 0;
+    int j = 0;
+    while (argv[1][i] || argv[2][j]) {
+        char a = argv[1][i];
+        char b = argv[2][j];
+        if (a != 0 && (b == 0 || a < b)) {
+            putchar(a);
+            putchar('\\n');
+            i++;
+        } else if (b != 0 && (a == 0 || b < a)) {
+            putchar('\\t');
+            putchar(b);
+            putchar('\\n');
+            j++;
+        } else {
+            putchar('\\t');
+            putchar('\\t');
+            putchar(a);
+            putchar('\\n');
+            i++;
+            j++;
+        }
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,27 @@
+"""``cut`` — select a character position from each argument."""
+
+NAME = "cut"
+DESCRIPTION = "cut -c N: print the N-th character of every remaining arg"
+DEFAULT_N = 3
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    if (argc < 3 || strcmp(argv[1], "-c") != 0) {
+        print_str("cut: usage: cut -c N ARGS");
+        putchar('\\n');
+        return 1;
+    }
+    int pos = atoi(argv[2]);
+    if (pos < 1) {
+        print_str("cut: positions are numbered from 1");
+        putchar('\\n');
+        return 1;
+    }
+    for (int a = 3; a < argc; a++) {
+        if (pos <= strlen(argv[a])) putchar(argv[a][pos - 1]);
+        putchar('\\n');
+    }
+    return 0;
+}
+"""

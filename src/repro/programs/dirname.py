@@ -1,0 +1,30 @@
+"""``dirname`` — strip the final path component."""
+
+NAME = "dirname"
+DESCRIPTION = "print the directory part of a path argument"
+DEFAULT_N = 1
+DEFAULT_L = 4
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    if (argc < 2) {
+        print_str("dirname: missing operand");
+        putchar('\\n');
+        return 1;
+    }
+    int len = strlen(argv[1]);
+    while (len > 1 && argv[1][len - 1] == '/') len--;
+    int last = -1;
+    for (int i = 0; i < len; i++)
+        if (argv[1][i] == '/') last = i;
+    if (last < 0) {
+        putchar('.');
+    } else if (last == 0) {
+        putchar('/');
+    } else {
+        for (int i = 0; i < last; i++) putchar(argv[1][i]);
+    }
+    putchar('\\n');
+    return 0;
+}
+"""

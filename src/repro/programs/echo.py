@@ -1,0 +1,25 @@
+"""``echo`` — the paper's Figure 1 running example (simplified UNIX echo)."""
+
+NAME = "echo"
+DESCRIPTION = "print arguments; -n suppresses the trailing newline (paper Fig. 1)"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int r = 1;
+    int arg = 1;
+    if (arg < argc) {
+        if (strcmp(argv[arg], "-n") == 0) {
+            r = 0; ++arg;
+        }
+    }
+    for (; arg < argc; ++arg) {
+        for (int i = 0; argv[arg][i] != 0; ++i)
+            putchar(argv[arg][i]);
+        if (arg + 1 < argc) putchar(' ');
+    }
+    if (r) putchar('\\n');
+    return 0;
+}
+"""

@@ -1,0 +1,27 @@
+"""``expand`` — replace tabs with spaces up to the next tab stop."""
+
+NAME = "expand"
+DESCRIPTION = "expand tabs in args to 4-column tab stops"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int col = 0;
+    for (int a = 1; a < argc; a++) {
+        for (int i = 0; argv[a][i]; i++) {
+            if (argv[a][i] == '\\t') {
+                putchar(' ');
+                col++;
+                while (col % 4 != 0) { putchar(' '); col++; }
+            } else {
+                putchar(argv[a][i]);
+                col++;
+            }
+        }
+        putchar('\\n');
+        col = 0;
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,38 @@
+"""``factor`` — prime factorization of small integers (division-heavy)."""
+
+NAME = "factor"
+DESCRIPTION = "factor each numeric arg < 100 into primes (exercises udiv/urem)"
+DEFAULT_N = 1
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    for (int a = 1; a < argc; a++) {
+        int n = 0;
+        for (int i = 0; argv[a][i]; i++) {
+            if (!isdigit(argv[a][i])) {
+                print_str("factor: invalid number");
+                putchar('\\n');
+                return 1;
+            }
+            n = n * 10 + (argv[a][i] - '0');
+        }
+        if (n > 99) n = 99;
+        print_int(n);
+        putchar(':');
+        if (n < 2) { putchar('\\n'); continue; }
+        int d = 2;
+        while (d * d <= n) {
+            while (n % d == 0) {
+                putchar(' ');
+                print_int(d);
+                n = n / d;
+            }
+            d++;
+        }
+        if (n > 1) { putchar(' '); print_int(n); }
+        putchar('\\n');
+    }
+    return 0;
+}
+"""

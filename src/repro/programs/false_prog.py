@@ -1,0 +1,12 @@
+"""``false`` — exit unsuccessfully."""
+
+NAME = "false"
+DESCRIPTION = "do nothing, unsuccessfully"
+DEFAULT_N = 1
+DEFAULT_L = 1
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    return 1;
+}
+"""

@@ -1,0 +1,32 @@
+"""``fold`` — wrap argument characters at a fixed width."""
+
+NAME = "fold"
+DESCRIPTION = "fold -w N: re-flow the chars of all args into N-char lines"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int width = 4;
+    int arg = 1;
+    if (arg + 1 < argc && strcmp(argv[arg], "-w") == 0) {
+        width = atoi(argv[arg + 1]);
+        arg = arg + 2;
+        if (width < 1) {
+            print_str("fold: invalid width");
+            putchar('\\n');
+            return 1;
+        }
+    }
+    int col = 0;
+    for (; arg < argc; arg++) {
+        for (int i = 0; argv[arg][i]; i++) {
+            if (col == width) { putchar('\\n'); col = 0; }
+            putchar(argv[arg][i]);
+            col++;
+        }
+    }
+    putchar('\\n');
+    return 0;
+}
+"""

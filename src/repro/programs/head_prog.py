@@ -1,0 +1,28 @@
+"""``head`` — first N characters of each argument."""
+
+NAME = "head"
+DESCRIPTION = "head -c N: print the first N chars of every remaining arg"
+DEFAULT_N = 3
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int count = 2;
+    int arg = 1;
+    if (arg + 1 < argc && strcmp(argv[arg], "-c") == 0) {
+        count = atoi(argv[arg + 1]);
+        arg = arg + 2;
+        if (count < 0) {
+            print_str("head: invalid count");
+            putchar('\\n');
+            return 1;
+        }
+    }
+    for (; arg < argc; arg++) {
+        for (int i = 0; argv[arg][i] && i < count; i++)
+            putchar(argv[arg][i]);
+        putchar('\\n');
+    }
+    return 0;
+}
+"""

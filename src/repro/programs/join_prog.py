@@ -1,0 +1,49 @@
+"""``join`` — relational join of two key:value arguments (Fig. 3 tool)."""
+
+NAME = "join"
+DESCRIPTION = "join two 'k=v' arguments on equal keys, printing 'k v1 v2'"
+DEFAULT_N = 2
+DEFAULT_L = 3
+
+SOURCE = """
+int key_len(char s[]) {
+    int i = 0;
+    while (s[i] && s[i] != '=') i++;
+    return i;
+}
+
+int keys_equal(char a[], char b[]) {
+    int i = 0;
+    while (a[i] && b[i] && a[i] != '=' && b[i] != '=') {
+        if (a[i] != b[i]) return 0;
+        i++;
+    }
+    return (a[i] == '=' || a[i] == 0) && (b[i] == '=' || b[i] == 0) &&
+           ((a[i] == '=') == (b[i] == '='));
+}
+
+void print_value(char s[]) {
+    int i = key_len(s);
+    if (s[i] == '=') i++;
+    while (s[i]) { putchar(s[i]); i++; }
+}
+
+int main(int argc, char argv[][]) {
+    if (argc < 3) {
+        print_str("join: missing operand");
+        putchar('\\n');
+        return 1;
+    }
+    if (keys_equal(argv[1], argv[2])) {
+        int k = key_len(argv[1]);
+        for (int i = 0; i < k; i++) putchar(argv[1][i]);
+        putchar(' ');
+        print_value(argv[1]);
+        putchar(' ');
+        print_value(argv[2]);
+        putchar('\\n');
+        return 0;
+    }
+    return 1;
+}
+"""

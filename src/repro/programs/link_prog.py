@@ -1,0 +1,37 @@
+"""``link`` — the paper's largest-speedup tool in Fig. 5."""
+
+NAME = "link"
+DESCRIPTION = "link SRC DST: validate both operands, then 'link' (modeled)"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int valid_name(char s[]) {
+    if (s[0] == 0) return 0;
+    for (int i = 0; s[i]; i++) {
+        char c = s[i];
+        if (!(isalpha(c) || isdigit(c) || c == '.' || c == '/' || c == '_' || c == '-'))
+            return 0;
+    }
+    return 1;
+}
+
+int main(int argc, char argv[][]) {
+    if (argc != 3) {
+        print_str("link: requires exactly 2 arguments");
+        putchar('\\n');
+        return 1;
+    }
+    if (!valid_name(argv[1]) || !valid_name(argv[2])) {
+        print_str("link: invalid file name");
+        putchar('\\n');
+        return 1;
+    }
+    if (strcmp(argv[1], argv[2]) == 0) {
+        print_str("link: same file");
+        putchar('\\n');
+        return 1;
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,54 @@
+"""``nice`` — Fig. 5/Fig. 7 tool: option parsing then command echo."""
+
+NAME = "nice"
+DESCRIPTION = "nice [-n ADJ] CMD...: parse adjustment, clamp, print command"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int adj = 10;
+    int arg = 1;
+    if (arg < argc && strcmp(argv[arg], "-n") == 0) {
+        arg++;
+        if (arg >= argc) {
+            print_str("nice: option requires an argument");
+            putchar('\\n');
+            return 1;
+        }
+        int i = 0;
+        int sign = 1;
+        int n = 0;
+        if (argv[arg][i] == '-') { sign = -1; i++; }
+        if (argv[arg][i] == 0) {
+            print_str("nice: invalid adjustment");
+            putchar('\\n');
+            return 1;
+        }
+        while (argv[arg][i]) {
+            if (!isdigit(argv[arg][i])) {
+                print_str("nice: invalid adjustment");
+                putchar('\\n');
+                return 1;
+            }
+            n = n * 10 + (argv[arg][i] - '0');
+            i++;
+        }
+        adj = sign * n;
+        arg++;
+    }
+    if (adj > 19) adj = 19;
+    if (adj < -20) adj = -20;
+    if (arg >= argc) {
+        print_int(adj);
+        putchar('\\n');
+        return 0;
+    }
+    for (; arg < argc; arg++) {
+        print_str(argv[arg]);
+        if (arg + 1 < argc) putchar(' ');
+    }
+    putchar('\\n');
+    return 0;
+}
+"""

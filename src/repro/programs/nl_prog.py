@@ -1,0 +1,24 @@
+"""``nl`` — number non-empty lines (args as lines)."""
+
+NAME = "nl"
+DESCRIPTION = "number the non-empty args; empty args print unnumbered blanks"
+DEFAULT_N = 3
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int number = 1;
+    for (int a = 1; a < argc; a++) {
+        if (argv[a][0] == 0) {
+            putchar('\\n');
+            continue;
+        }
+        print_int(number);
+        putchar('\\t');
+        print_str(argv[a]);
+        putchar('\\n');
+        number++;
+    }
+    return 0;
+}
+"""

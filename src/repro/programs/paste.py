@@ -1,0 +1,25 @@
+"""``paste`` — Fig. 7 tool: interleave argument characters line-wise."""
+
+NAME = "paste"
+DESCRIPTION = "interleave the i-th chars of every arg, tab-separated"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    if (argc < 2) return 0;
+    int maxlen = 0;
+    for (int a = 1; a < argc; a++) {
+        int len = strlen(argv[a]);
+        if (len > maxlen) maxlen = len;
+    }
+    for (int i = 0; i < maxlen; i++) {
+        for (int a = 1; a < argc; a++) {
+            if (i < strlen(argv[a])) putchar(argv[a][i]);
+            if (a + 1 < argc) putchar('\\t');
+        }
+        putchar('\\n');
+    }
+    return 0;
+}
+"""

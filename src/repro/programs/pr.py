@@ -1,0 +1,30 @@
+"""``pr`` — Fig. 7 tool: paginate arguments with numbered lines."""
+
+NAME = "pr"
+DESCRIPTION = "print each arg as a numbered line with a page header"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int number = 0;
+    int arg = 1;
+    if (arg < argc && strcmp(argv[arg], "-n") == 0) {
+        number = 1;
+        arg++;
+    }
+    print_str("== page 1 ==");
+    putchar('\\n');
+    int line = 1;
+    for (; arg < argc; arg++) {
+        if (number) {
+            print_int(line);
+            putchar(' ');
+        }
+        print_str(argv[arg]);
+        putchar('\\n');
+        line++;
+    }
+    return 0;
+}
+"""

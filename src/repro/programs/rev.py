@@ -1,0 +1,18 @@
+"""``rev`` — reverse the characters of each argument."""
+
+NAME = "rev"
+DESCRIPTION = "print each arg with its characters reversed"
+DEFAULT_N = 2
+DEFAULT_L = 3
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    for (int a = 1; a < argc; a++) {
+        int len = strlen(argv[a]);
+        for (int i = len - 1; i >= 0; i--)
+            putchar(argv[a][i]);
+        putchar('\\n');
+    }
+    return 0;
+}
+"""

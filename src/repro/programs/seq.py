@@ -1,0 +1,51 @@
+"""``seq`` — print a sequence of integers (one of the paper's Fig. 3 tools)."""
+
+NAME = "seq"
+DESCRIPTION = "seq [first] last: print first..last, validating numeric arguments"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int is_number(char s[]) {
+    int i = 0;
+    if (s[0] == '-') i = 1;
+    if (s[i] == 0) return 0;
+    while (s[i]) {
+        if (!isdigit(s[i])) return 0;
+        i++;
+    }
+    return 1;
+}
+
+int main(int argc, char argv[][]) {
+    int first = 1;
+    int last = 0;
+    if (argc < 2) {
+        print_str("seq: missing operand");
+        putchar('\\n');
+        return 1;
+    }
+    if (!is_number(argv[1])) {
+        print_str("seq: invalid argument");
+        putchar('\\n');
+        return 1;
+    }
+    if (argc == 2) {
+        last = atoi(argv[1]);
+    } else {
+        if (!is_number(argv[2])) {
+            print_str("seq: invalid argument");
+            putchar('\\n');
+            return 1;
+        }
+        first = atoi(argv[1]);
+        last = atoi(argv[2]);
+    }
+    if (last > 99) last = 99;
+    for (int i = first; i <= last; i++) {
+        print_int(i);
+        putchar('\\n');
+    }
+    return 0;
+}
+"""

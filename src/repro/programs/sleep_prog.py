@@ -1,0 +1,43 @@
+"""``sleep`` — the paper's §5.4 anecdote: parse, sum, validate durations."""
+
+NAME = "sleep"
+DESCRIPTION = "sum integer durations from all args; validate; no-op sleep"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int seconds = 0;
+    if (argc < 2) {
+        print_str("sleep: missing operand");
+        putchar('\\n');
+        return 1;
+    }
+    for (int a = 1; a < argc; a++) {
+        int i = 0;
+        int n = 0;
+        if (argv[a][0] == 0) {
+            print_str("sleep: invalid interval");
+            putchar('\\n');
+            return 1;
+        }
+        while (argv[a][i]) {
+            if (!isdigit(argv[a][i])) {
+                print_str("sleep: invalid interval");
+                putchar('\\n');
+                return 1;
+            }
+            n = n * 10 + (argv[a][i] - '0');
+            i++;
+        }
+        seconds = seconds + n;
+    }
+    if (seconds > 10000) {
+        print_str("sleep: interval too large");
+        putchar('\\n');
+        return 1;
+    }
+    // the actual sleep is a no-op in the model
+    return 0;
+}
+"""

@@ -1,0 +1,32 @@
+"""``split`` — chop the chars of the args into fixed-size chunks."""
+
+NAME = "split"
+DESCRIPTION = "split -b N: emit the args' chars in N-byte chunks, one per line"
+DEFAULT_N = 3
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int size = 2;
+    int arg = 1;
+    if (arg + 1 < argc && strcmp(argv[arg], "-b") == 0) {
+        size = atoi(argv[arg + 1]);
+        arg = arg + 2;
+        if (size < 1) {
+            print_str("split: invalid size");
+            putchar('\\n');
+            return 1;
+        }
+    }
+    int col = 0;
+    for (; arg < argc; arg++) {
+        for (int i = 0; argv[arg][i]; i++) {
+            putchar(argv[arg][i]);
+            col++;
+            if (col == size) { putchar('\\n'); col = 0; }
+        }
+    }
+    if (col > 0) putchar('\\n');
+    return 0;
+}
+"""

@@ -1,0 +1,26 @@
+"""``sum`` — BSD 16-bit rotating checksum over argument bytes."""
+
+NAME = "sum"
+DESCRIPTION = "BSD checksum (rotate-right + add, mod 2^16) of all arg bytes"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int checksum = 0;
+    int count = 0;
+    for (int a = 1; a < argc; a++) {
+        for (int i = 0; argv[a][i]; i++) {
+            checksum = (checksum >> 1) + ((checksum & 1) << 15);
+            checksum = checksum + argv[a][i];
+            checksum = checksum & 65535;
+            count++;
+        }
+    }
+    print_int(checksum);
+    putchar(' ');
+    print_int(count);
+    putchar('\\n');
+    return 0;
+}
+"""

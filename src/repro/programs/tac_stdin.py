@@ -1,0 +1,24 @@
+"""``tac``-style stdin reverser (bounded buffer)."""
+
+NAME = "tac-stdin"
+DESCRIPTION = "read stdin into a buffer and print it reversed"
+DEFAULT_N = 0
+DEFAULT_L = 1
+DEFAULT_STDIN = 3
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    char buf[16];
+    int n = 0;
+    int c;
+    while ((c = getchar()) != -1) {
+        if (n >= 16) break;
+        buf[n] = c;
+        n++;
+    }
+    for (int i = n - 1; i >= 0; i--)
+        putchar(buf[i]);
+    putchar('\\n');
+    return n;
+}
+"""

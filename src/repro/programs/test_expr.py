@@ -1,0 +1,32 @@
+"""``test`` — the shell's conditional evaluator (string/int predicates)."""
+
+NAME = "test"
+DESCRIPTION = "test -z S | -n S | S1 = S2 | N1 -eq/-lt/-gt N2; exit 0 if true"
+DEFAULT_N = 3
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    if (argc == 2) {
+        return argv[1][0] == 0;  // non-empty string is true (exit 0)
+    }
+    if (argc == 3) {
+        if (strcmp(argv[1], "-z") == 0) return argv[2][0] != 0;
+        if (strcmp(argv[1], "-n") == 0) return argv[2][0] == 0;
+        print_str("test: unknown unary operator");
+        putchar('\\n');
+        return 2;
+    }
+    if (argc == 4) {
+        if (strcmp(argv[2], "=") == 0) return strcmp(argv[1], argv[3]) != 0;
+        if (strcmp(argv[2], "!=") == 0) return strcmp(argv[1], argv[3]) == 0;
+        if (strcmp(argv[2], "-eq") == 0) return atoi(argv[1]) != atoi(argv[3]);
+        if (strcmp(argv[2], "-lt") == 0) return atoi(argv[1]) >= atoi(argv[3]);
+        if (strcmp(argv[2], "-gt") == 0) return atoi(argv[1]) <= atoi(argv[3]);
+        print_str("test: unknown binary operator");
+        putchar('\\n');
+        return 2;
+    }
+    return 2;
+}
+"""

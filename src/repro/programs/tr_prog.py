@@ -1,0 +1,38 @@
+"""``tr`` — translate characters of the remaining args."""
+
+NAME = "tr"
+DESCRIPTION = "tr SET1 SET2 ARGS: positional character translation"
+DEFAULT_N = 3
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    if (argc < 3) {
+        print_str("tr: missing operand");
+        putchar('\\n');
+        return 1;
+    }
+    int n1 = strlen(argv[1]);
+    int n2 = strlen(argv[2]);
+    if (n1 == 0 || n2 == 0) {
+        print_str("tr: empty set");
+        putchar('\\n');
+        return 1;
+    }
+    for (int a = 3; a < argc; a++) {
+        for (int i = 0; argv[a][i]; i++) {
+            char c = argv[a][i];
+            int out = c;
+            for (int k = 0; k < n1; k++) {
+                if (argv[1][k] == c) {
+                    if (k < n2) out = argv[2][k];
+                    else out = argv[2][n2 - 1];
+                }
+            }
+            putchar(out);
+        }
+    }
+    putchar('\\n');
+    return 0;
+}
+"""

@@ -1,0 +1,12 @@
+"""``true`` — exit successfully (the smallest corpus member)."""
+
+NAME = "true"
+DESCRIPTION = "do nothing, successfully"
+DEFAULT_N = 1
+DEFAULT_L = 1
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    return 0;
+}
+"""

@@ -1,0 +1,65 @@
+"""``tsort`` — topological sort over single-letter edges (Fig. 3 tool)."""
+
+NAME = "tsort"
+DESCRIPTION = "args are 2-char edges 'ab' (a before b); prints a topological order"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    char nodes[8];
+    int indeg[8];
+    int src[8];
+    int dst[8];
+    int n_nodes = 0;
+    int n_edges = 0;
+
+    for (int a = 1; a < argc; a++) {
+        if (strlen(argv[a]) != 2) {
+            print_str("tsort: bad edge");
+            putchar('\\n');
+            return 1;
+        }
+        int ends[2];
+        for (int e = 0; e < 2; e++) {
+            char c = argv[a][e];
+            int idx = -1;
+            for (int i = 0; i < n_nodes; i++)
+                if (nodes[i] == c) idx = i;
+            if (idx < 0) {
+                if (n_nodes == 8) { return 1; }
+                nodes[n_nodes] = c;
+                indeg[n_nodes] = 0;
+                idx = n_nodes;
+                n_nodes++;
+            }
+            ends[e] = idx;
+        }
+        src[n_edges] = ends[0];
+        dst[n_edges] = ends[1];
+        indeg[ends[1]] = indeg[ends[1]] + 1;
+        n_edges++;
+    }
+
+    int emitted = 0;
+    int done[8];
+    for (int i = 0; i < n_nodes; i++) done[i] = 0;
+    while (emitted < n_nodes) {
+        int pick = -1;
+        for (int i = 0; i < n_nodes; i++)
+            if (!done[i] && indeg[i] == 0 && pick < 0) pick = i;
+        if (pick < 0) {
+            print_str("tsort: cycle");
+            putchar('\\n');
+            return 1;
+        }
+        putchar(nodes[pick]);
+        putchar('\\n');
+        done[pick] = 1;
+        emitted++;
+        for (int e = 0; e < n_edges; e++)
+            if (src[e] == pick) indeg[dst[e]] = indeg[dst[e]] - 1;
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,38 @@
+"""``uniq`` — drop repeated adjacent arguments."""
+
+NAME = "uniq"
+DESCRIPTION = "print args, collapsing identical adjacent ones; -c counts"
+DEFAULT_N = 3
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int counting = 0;
+    int arg = 1;
+    if (arg < argc && strcmp(argv[arg], "-c") == 0) {
+        counting = 1;
+        arg++;
+    }
+    int run = 0;
+    int prev = -1;
+    for (; arg < argc; arg++) {
+        if (prev >= 0 && strcmp(argv[prev], argv[arg]) == 0) {
+            run++;
+            continue;
+        }
+        if (prev >= 0) {
+            if (counting) { print_int(run); putchar(' '); }
+            print_str(argv[prev]);
+            putchar('\\n');
+        }
+        prev = arg;
+        run = 1;
+    }
+    if (prev >= 0) {
+        if (counting) { print_int(run); putchar(' '); }
+        print_str(argv[prev]);
+        putchar('\\n');
+    }
+    return 0;
+}
+"""

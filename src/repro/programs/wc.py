@@ -1,0 +1,37 @@
+"""``wc`` — count chars/words across the arguments."""
+
+NAME = "wc"
+DESCRIPTION = "wc [-c|-w]: count characters or whitespace-separated words"
+DEFAULT_N = 2
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int mode_c = 1;
+    int mode_w = 0;
+    int arg = 1;
+    if (arg < argc && strcmp(argv[arg], "-w") == 0) {
+        mode_c = 0; mode_w = 1; arg++;
+    } else if (arg < argc && strcmp(argv[arg], "-c") == 0) {
+        arg++;
+    }
+    int chars = 0;
+    int words = 0;
+    for (; arg < argc; arg++) {
+        int in_word = 0;
+        for (int i = 0; argv[arg][i]; i++) {
+            chars++;
+            if (isspace(argv[arg][i])) {
+                in_word = 0;
+            } else if (!in_word) {
+                in_word = 1;
+                words++;
+            }
+        }
+    }
+    if (mode_w) print_int(words);
+    else print_int(chars);
+    putchar('\\n');
+    return 0;
+}
+"""

@@ -1,0 +1,34 @@
+"""``wc`` over stdin — the paper's second input channel (§5.1)."""
+
+NAME = "wc-stdin"
+DESCRIPTION = "count chars/words/lines read from symbolic stdin"
+DEFAULT_N = 0
+DEFAULT_L = 1
+DEFAULT_STDIN = 3
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    int chars = 0;
+    int words = 0;
+    int lines = 0;
+    int in_word = 0;
+    int c;
+    while ((c = getchar()) != -1) {
+        chars++;
+        if (c == '\\n') lines++;
+        if (isspace(c)) {
+            in_word = 0;
+        } else if (!in_word) {
+            in_word = 1;
+            words++;
+        }
+    }
+    print_int(lines);
+    putchar(' ');
+    print_int(words);
+    putchar(' ');
+    print_int(chars);
+    putchar('\\n');
+    return 0;
+}
+"""

@@ -1,0 +1,17 @@
+"""``yes`` — print an argument a bounded number of times."""
+
+NAME = "yes"
+DESCRIPTION = "print the first arg (or 'y') repeatedly (model: 3 times)"
+DEFAULT_N = 1
+DEFAULT_L = 2
+
+SOURCE = """
+int main(int argc, char argv[][]) {
+    for (int k = 0; k < 3; k++) {
+        if (argc > 1) print_str(argv[1]);
+        else putchar('y');
+        putchar('\\n');
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,5 @@
+"""Query Count Estimation (the paper's first contribution)."""
+
+from .qce import FunctionQce, QceAnalysis, QceParams, analyze_module
+
+__all__ = ["FunctionQce", "QceAnalysis", "QceParams", "analyze_module"]

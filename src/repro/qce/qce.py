@@ -1,0 +1,481 @@
+"""Query Count Estimation (paper §3).
+
+For every function location ``l`` (= basic block) and variable ``v`` this
+pass precomputes:
+
+* ``Qt(l)``   — estimated number of solver queries issued after reaching
+  ``l`` (paper Eq. 4 with ``c = 1``), and
+* ``Qadd(l, v)`` — estimated number of *additional* queries if ``v`` were
+  symbolic at ``l`` (Eq. 4 with the dependence filter ``c``).
+
+The recursion of Eq. 3/6 descends the CFG, multiplying every followed
+branch by ``beta`` and bounding loops by their static trip count (or
+``kappa``).  Loops are handled by *virtual unrolling*: the recursion
+carries a per-active-loop remaining-iteration budget, so the memoized
+computation is exact w.r.t. the unrolled CFG the paper describes, without
+materializing it.
+
+Query sites are conditional branches plus — per the paper's footnote 1 —
+assertions and memory accesses with (potentially) variable offsets.
+
+Interprocedural handling follows §3.2: local query counts are computed
+per function bottom-up over the call graph; call sites add the callee's
+entry counts (with argument-to-parameter dependence mapping for ``Qadd``);
+the final cross-frame summation happens dynamically in the engine using
+the call stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.callgraph import bottom_up_order
+from ..analysis.depend import DependenceInfo
+from ..analysis.liveness import live_in_sets
+from ..analysis.tripcount import trip_counts
+from ..lang.cfg import (
+    Function,
+    IAssert,
+    IAssign,
+    ICall,
+    ILoad,
+    IPutc,
+    IStore,
+    MemRef,
+    Module,
+    TBr,
+    TJmp,
+)
+
+
+@dataclass(frozen=True)
+class QceParams:
+    """Heuristic parameters (paper §3.2/§5.4).
+
+    The paper's COREUTILS-scale value ``alpha = 1e-12`` reflects very large
+    absolute Qt values on 72 KLOC of code; our corpus is smaller, so the
+    library default sits mid-range and the Fig. 7 sweep explores the full
+    spectrum (alpha = 0 -> never merge differing concretes; alpha = +inf ->
+    merge everything).
+    """
+
+    alpha: float = 0.05
+    beta: float = 0.8
+    kappa: int = 10
+
+
+@dataclass
+class _CallSite:
+    callee: str
+    # parameter name -> variables occurring in the matching argument
+    param_args: dict[str, frozenset[str]]
+    all_arg_vars: frozenset[str]
+
+
+@dataclass
+class _BlockSummary:
+    site_vars: list[frozenset[str]] = field(default_factory=list)
+    calls: list[_CallSite] = field(default_factory=list)
+
+
+@dataclass
+class FunctionQce:
+    qt: dict[str, float]
+    qadd: dict[str, dict[str, float]]
+    variables: frozenset[str]
+
+    def entry_qt(self, entry: str) -> float:
+        return self.qt.get(entry, 0.0)
+
+
+def _ref_vars(ref: MemRef) -> frozenset[str]:
+    return ref.row.variables if ref.row is not None else frozenset()
+
+
+def _summarize_block(fn: Function, label: str, module: Module) -> _BlockSummary:
+    summary = _BlockSummary()
+    block = fn.blocks[label]
+    for instr in block.instrs:
+        if isinstance(instr, IAssert):
+            summary.site_vars.append(instr.cond.variables)
+        elif isinstance(instr, ILoad):
+            index_vars = instr.index.variables | _ref_vars(instr.ref)
+            if index_vars:
+                summary.site_vars.append(index_vars | frozenset((instr.ref.array,)))
+        elif isinstance(instr, IStore):
+            index_vars = instr.index.variables | _ref_vars(instr.ref)
+            if index_vars:
+                summary.site_vars.append(index_vars | frozenset((instr.ref.array,)))
+        elif isinstance(instr, ICall) and instr.func in module.functions:
+            callee = module.function(instr.func)
+            param_args: dict[str, frozenset[str]] = {}
+            all_vars: set[str] = set()
+            for (pname, _), arg in zip(callee.params, instr.args):
+                if isinstance(arg, MemRef):
+                    arg_vars = frozenset((arg.array,)) | _ref_vars(arg)
+                else:
+                    arg_vars = arg.variables
+                param_args[pname] = arg_vars
+                all_vars |= arg_vars
+            summary.calls.append(_CallSite(instr.func, param_args, frozenset(all_vars)))
+    if isinstance(block.term, TBr):
+        summary.site_vars.append(block.term.cond.variables)
+    return summary
+
+
+class _FunctionAnalyzer:
+    """Computes the virtually-unrolled q recursion for one function."""
+
+    def __init__(
+        self,
+        fn: Function,
+        module: Module,
+        params: QceParams,
+        callee_results: dict[str, FunctionQce],
+    ):
+        self.fn = fn
+        self.module = module
+        self.params = params
+        self.callee_results = callee_results
+        # Budgets above ~8 change q by less than beta^8 relative weight but
+        # multiply the DP state space; cap them for tractability.
+        self.trips = {
+            header: min(count, max(params.kappa, 8))
+            for header, count in trip_counts(fn, params.kappa).items()
+        }
+        self.depend = DependenceInfo(fn, module)
+        self.live_in = live_in_sets(fn)
+        self.summaries = {label: _summarize_block(fn, label, module) for label in fn.blocks}
+        # block -> headers of loops containing it
+        self.enclosing: dict[str, frozenset[str]] = {label: frozenset() for label in fn.blocks}
+        for loop in fn.natural_loops():
+            for label in loop.body:
+                self.enclosing[label] = self.enclosing[label] | {loop.header}
+
+    # -- generic recursion ------------------------------------------------------
+
+    def q_values(self, block_contrib, starts=None) -> dict[str, float]:
+        """Value of q at the start of the given blocks (default: all).
+
+        ``block_contrib(label) -> float`` is the folded contribution of all
+        query sites in the block (sites within one block are summed with no
+        ``beta`` in between, so folding them is exact).
+        """
+        beta = self.params.beta
+        memo: dict[tuple, float] = {}
+
+        def deps_of(key: tuple) -> list[tuple[float, tuple] | None]:
+            """(weight, successor-key) pairs after loop-budget accounting."""
+            label, ctx = key
+            term = self.fn.blocks[label].term
+            out: list[tuple[float, tuple]] = []
+            if isinstance(term, TBr):
+                for succ in (term.then_label, term.else_label):
+                    succ_key = self._succ_key(label, succ, ctx)
+                    if succ_key is not None:
+                        out.append((beta, succ_key))
+            elif isinstance(term, TJmp):
+                succ_key = self._succ_key(label, term.label, ctx)
+                if succ_key is not None:
+                    out.append((1.0, succ_key))
+            # TRet/THalt terminate the local count.
+            return out
+
+        def evaluate(start_key: tuple) -> float:
+            # Iterative DFS; the budget-decorated graph is acyclic (budgets
+            # strictly decrease along back edges), but gray deps are cut to
+            # 0 defensively for irreducible CFGs.
+            gray: set[tuple] = set()
+            stack: list[tuple[tuple, bool]] = [(start_key, False)]
+            while stack:
+                key, expanded = stack.pop()
+                if key in memo:
+                    continue
+                if expanded:
+                    total = block_contrib(key[0])
+                    for weight, dep in deps_of(key):
+                        total += weight * memo.get(dep, 0.0)
+                    memo[key] = total
+                    gray.discard(key)
+                    continue
+                gray.add(key)
+                stack.append((key, True))
+                for _, dep in deps_of(key):
+                    if dep not in memo and dep not in gray:
+                        stack.append((dep, False))
+            return memo[start_key]
+
+        result: dict[str, float] = {}
+        for label in starts if starts is not None else self.fn.blocks:
+            ctx = tuple(
+                sorted((h, max(0, self.trips.get(h, self.params.kappa) - 1))
+                       for h in self.enclosing[label])
+            )
+            result[label] = evaluate((label, ctx))
+        return result
+
+    def _succ_key(self, src: str, dst: str, ctx: tuple) -> tuple | None:
+        """Successor (label, ctx) after loop-budget accounting; None = cut."""
+        ctx_map = dict(ctx)
+        dst_loops = self.enclosing[dst]
+        # Leaving loops: drop budgets for loops not containing dst.
+        for header in list(ctx_map):
+            if header not in dst_loops:
+                del ctx_map[header]
+        if dst in self.trips:  # dst is a loop header
+            if dst in dict(ctx) and dst in self.enclosing[src]:
+                # Back edge (or continue): consume one iteration.
+                remaining = dict(ctx)[dst]
+                if remaining <= 0:
+                    return None  # unroll budget exhausted: branch not followed
+                ctx_map[dst] = remaining - 1
+            else:
+                # Fresh entry into the loop.
+                ctx_map[dst] = max(0, self.trips[dst] - 1)
+        return (dst, tuple(sorted(ctx_map.items())))
+
+    # -- instantiations of c ----------------------------------------------------------
+
+    def compute_qt(self) -> dict[str, float]:
+        def block_contrib(label: str) -> float:
+            summary = self.summaries[label]
+            total = float(len(summary.site_vars))
+            for site in summary.calls:
+                callee = self.callee_results.get(site.callee)
+                if callee is not None:  # None = recursion cut (bounded)
+                    total += callee.entry_qt(self.module.function(site.callee).entry)
+            return total
+
+        return self.q_values(block_contrib)
+
+    def _taint_flags(
+        self, start: str, var: str
+    ) -> tuple[dict[str, list[bool]], dict[str, list[dict[str, bool]]]]:
+        """Flow-sensitive forward taint from ``(start, var)`` with kills.
+
+        This realizes the paper's dependence relation ``(l, v) C (l', e)``:
+        ``v``'s *value at l* flows into the expression at ``l'``.  A plain
+        reassignment (``i = 0``) kills the taint — crucial for the echo
+        example, where the inner counter ``i`` is dead across outer-loop
+        iterations and therefore cheap to merge.
+
+        Returns per-block flags aligned with ``_summarize_block``'s site
+        list (branch site last) and per-call parameter taint.
+        """
+        fn = self.fn
+        taint_in: dict[str, set[str]] = {label: set() for label in fn.blocks}
+        taint_in[start] = {var}
+        worklist = [start]
+        preds_seeded = {start}
+        while worklist:
+            label = worklist.pop()
+            out = self._block_taint_out(label, taint_in[label])
+            for succ in fn.blocks[label].successors():
+                current = taint_in[succ]
+                merged = current | out
+                if succ == start:
+                    merged = merged | {var}
+                if merged != current or succ not in preds_seeded:
+                    preds_seeded.add(succ)
+                    if merged != current:
+                        taint_in[succ] = set(merged)
+                        worklist.append(succ)
+        site_flags: dict[str, list[bool]] = {}
+        call_flags: dict[str, list[dict[str, bool]]] = {}
+        for label in fn.blocks:
+            flags, cflags = self._block_site_taint(label, taint_in[label])
+            site_flags[label] = flags
+            call_flags[label] = cflags
+        return site_flags, call_flags
+
+    def _block_taint_out(self, label: str, tainted_in: set[str]) -> set[str]:
+        tainted = set(tainted_in)
+        for instr in self.fn.blocks[label].instrs:
+            self._step_taint(instr, tainted)
+        return tainted
+
+    @staticmethod
+    def _step_taint(instr, tainted: set[str]) -> None:
+        if isinstance(instr, IAssign):
+            if instr.expr.variables & tainted:
+                tainted.add(instr.dst)
+            else:
+                tainted.discard(instr.dst)
+        elif isinstance(instr, ILoad):
+            sources = instr.index.variables | _ref_vars(instr.ref) | {instr.ref.array}
+            if sources & tainted:
+                tainted.add(instr.dst)
+            else:
+                tainted.discard(instr.dst)
+        elif isinstance(instr, IStore):
+            sources = instr.value.variables | instr.index.variables | _ref_vars(instr.ref)
+            if sources & tainted:
+                tainted.add(instr.ref.array)  # weak update: no kill
+        elif isinstance(instr, ICall):
+            sources: set[str] = set()
+            array_args: list[str] = []
+            for arg in instr.args:
+                if isinstance(arg, MemRef):
+                    sources.add(arg.array)
+                    sources |= _ref_vars(arg)
+                    array_args.append(arg.array)
+                else:
+                    sources |= arg.variables
+            hit = bool(sources & tainted)
+            if instr.dst is not None:
+                if hit:
+                    tainted.add(instr.dst)
+                else:
+                    tainted.discard(instr.dst)
+            if hit:
+                tainted.update(array_args)
+
+    def _block_site_taint(
+        self, label: str, tainted_in: set[str]
+    ) -> tuple[list[bool], list[dict[str, bool]]]:
+        """Per-site taint flags, ordered exactly like ``_summarize_block``."""
+        fn = self.fn
+        tainted = set(tainted_in)
+        flags: list[bool] = []
+        call_flags: list[dict[str, bool]] = []
+        block = fn.blocks[label]
+        for instr in block.instrs:
+            if isinstance(instr, IAssert):
+                flags.append(bool(instr.cond.variables & tainted))
+            elif isinstance(instr, ILoad):
+                index_vars = instr.index.variables | _ref_vars(instr.ref)
+                if index_vars:
+                    flags.append(bool((index_vars | {instr.ref.array}) & tainted))
+            elif isinstance(instr, IStore):
+                index_vars = instr.index.variables | _ref_vars(instr.ref)
+                if index_vars:
+                    flags.append(bool(index_vars & tainted or instr.ref.array in tainted))
+            elif isinstance(instr, ICall) and instr.func in self.module.functions:
+                callee = self.module.function(instr.func)
+                per_param: dict[str, bool] = {}
+                for (pname, _), arg in zip(callee.params, instr.args):
+                    if isinstance(arg, MemRef):
+                        arg_vars = frozenset((arg.array,)) | _ref_vars(arg)
+                    else:
+                        arg_vars = arg.variables
+                    per_param[pname] = bool(arg_vars & tainted)
+                call_flags.append(per_param)
+            self._step_taint(instr, tainted)
+        if isinstance(block.term, TBr):
+            flags.append(bool(block.term.cond.variables & tainted))
+        return flags, call_flags
+
+    def _qadd_contrib(self, start: str, var: str) -> dict[str, float]:
+        """Per-block folded Qadd contribution for taint seeded at (start, var)."""
+        site_flags, call_flags = self._taint_flags(start, var)
+        contrib: dict[str, float] = {}
+        for label in self.fn.blocks:
+            total = float(sum(site_flags[label]))
+            for idx, site in enumerate(self.summaries[label].calls):
+                callee = self.callee_results.get(site.callee)
+                if callee is None:
+                    continue
+                entry = self.module.function(site.callee).entry
+                per_param = call_flags[label][idx] if idx < len(call_flags[label]) else {}
+                for pname, hit in per_param.items():
+                    if hit:
+                        total += callee.qadd.get(entry, {}).get(pname, 0.0)
+            contrib[label] = total
+        return contrib
+
+    def _is_trackable_at(self, start: str, var: str) -> bool:
+        """Scalars dead at ``start`` cannot add queries; arrays always can."""
+        vtype = self.fn.var_types.get(var)
+        if vtype is not None and not hasattr(vtype, "element"):
+            return var in self.live_in[start]
+        return True  # arrays, globals, names outside var_types
+
+    def compute_qadd_all(self, variables) -> dict[str, dict[str, float]]:
+        """Qadd(l, v) for every block l and variable v.
+
+        Starts with identical per-block contribution maps share one DP run
+        (common: a variable's taint footprint is often the same from every
+        block of a region), and dead-variable starts are skipped outright.
+        """
+        result: dict[str, dict[str, float]] = {label: {} for label in self.fn.blocks}
+        for var in sorted(variables):
+            groups: dict[tuple, list[str]] = {}
+            contribs: dict[tuple, dict[str, float]] = {}
+            for start in self.fn.blocks:
+                if not self._is_trackable_at(start, var):
+                    continue
+                contrib = self._qadd_contrib(start, var)
+                if not any(contrib.values()):
+                    continue
+                fingerprint = tuple(sorted(contrib.items()))
+                groups.setdefault(fingerprint, []).append(start)
+                contribs[fingerprint] = contrib
+            for fingerprint, starts in groups.items():
+                contrib = contribs[fingerprint]
+                values = self.q_values(contrib.__getitem__, starts=starts)
+                for start in starts:
+                    if values[start] > 0.0:
+                        result[start][var] = values[start]
+        return result
+
+    def tracked_variables(self) -> frozenset[str]:
+        """Scalars, arrays and referenced globals of this function."""
+        names: set[str] = set(self.fn.var_types)
+        for summary in self.summaries.values():
+            for vars_ in summary.site_vars:
+                names |= vars_
+            for call in summary.calls:
+                names |= call.all_arg_vars
+        return frozenset(names)
+
+
+class QceAnalysis:
+    """Whole-module QCE: run once before symbolic execution (paper §5.1)."""
+
+    def __init__(self, module: Module, params: QceParams | None = None):
+        self.module = module
+        self.params = params or QceParams()
+        self.functions: dict[str, FunctionQce] = {}
+        for name in bottom_up_order(module):
+            fn = module.function(name)
+            analyzer = _FunctionAnalyzer(fn, module, self.params, self.functions)
+            qt = analyzer.compute_qt()
+            variables = analyzer.tracked_variables()
+            qadd = analyzer.compute_qadd_all(variables)
+            self.functions[name] = FunctionQce(qt=qt, qadd=qadd, variables=variables)
+
+    # -- engine-facing API -------------------------------------------------------
+
+    def qt_local(self, func: str, block: str) -> float:
+        return self.functions[func].qt.get(block, 0.0)
+
+    def qadd_local(self, func: str, block: str, var: str) -> float:
+        return self.functions[func].qadd.get(block, {}).get(var, 0.0)
+
+    def qadd_map(self, func: str, block: str) -> dict[str, float]:
+        return self.functions[func].qadd.get(block, {})
+
+    def hot_variables(self, func: str, block: str, qt_global: float) -> frozenset[str]:
+        """H(l) = {v | Qadd(l, v) > alpha * Qt(l)} (paper Eq. 2).
+
+        ``qt_global`` is the dynamically-summed Qt over the call stack
+        (paper §3.2, "Interprocedural QCE").
+        """
+        threshold = self.params.alpha * qt_global
+        return frozenset(
+            v for v, value in self.qadd_map(func, block).items() if value > threshold
+        )
+
+
+_ANALYSIS_CACHE: dict[tuple[int, QceParams], QceAnalysis] = {}
+
+
+def analyze_module(module: Module, params: QceParams | None = None) -> QceAnalysis:
+    """Memoized QCE for a module (the pass is pure in module + params)."""
+    params = params or QceParams()
+    key = (id(module), params)
+    cached = _ANALYSIS_CACHE.get(key)
+    if cached is None:
+        cached = QceAnalysis(module, params)
+        _ANALYSIS_CACHE[key] = cached
+    return cached

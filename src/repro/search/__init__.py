@@ -1,0 +1,25 @@
+"""Search strategies and dynamic state merging (Algorithm 2)."""
+
+from .dsm import DsmStrategy
+from .strategies import (
+    BfsStrategy,
+    CoverageStrategy,
+    DfsStrategy,
+    RandomStrategy,
+    Strategy,
+    TopologicalStrategy,
+    make_strategy,
+    topological_key,
+)
+
+__all__ = [
+    "BfsStrategy",
+    "CoverageStrategy",
+    "DfsStrategy",
+    "DsmStrategy",
+    "RandomStrategy",
+    "Strategy",
+    "TopologicalStrategy",
+    "make_strategy",
+    "topological_key",
+]

@@ -1,0 +1,81 @@
+"""Dynamic State Merging (the paper's Algorithm 2).
+
+A layer over an arbitrary *driving* strategy.  Every state carries a
+bounded history of its last ``delta`` (location, similarity-hash) pairs;
+the layer maintains a global multiset of those hashes.  A state whose
+*current* hash appears in some other state's history is expected to reach
+that state's location shortly, so it is *fast-forwarded*: picked with
+priority (topologically-first within the forwarding set ``F``) until it
+either merges or diverges.  When ``F`` is empty the driving strategy is in
+full control — that is the property that lets coverage-guided search
+coexist with merging (§4.1/§5.5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..engine.state import SymState
+from .strategies import Strategy, topological_key
+
+
+class DsmStrategy(Strategy):
+    """pickNext for DSM; wraps the driving heuristic (pickNextD).
+
+    The forwarding set is computed from hash counts maintained
+    incrementally in :meth:`on_add`/:meth:`on_remove` — checking a state
+    costs O(1): its current hash must occur in the global multiset more
+    often than in its own history.
+    """
+
+    name = "dsm"
+
+    def __init__(self, driving: Strategy, engine):
+        self.driving = driving
+        self.engine = engine
+        self.hash_counts: Counter = Counter()
+        self.own_counts: dict[int, Counter] = {}
+        self.ff_sids: set[int] = set()
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def on_add(self, state: SymState) -> None:
+        own = Counter(h for _, h in state.history)
+        self.own_counts[state.sid] = own
+        self.hash_counts.update(own)
+        self.driving.on_add(state)
+
+    def on_remove(self, state: SymState) -> None:
+        own = self.own_counts.pop(state.sid, None)
+        if own is not None:
+            for h, count in own.items():
+                remaining = self.hash_counts[h] - count
+                if remaining > 0:
+                    self.hash_counts[h] = remaining
+                else:
+                    del self.hash_counts[h]
+        self.driving.on_remove(state)
+
+    # -- Algorithm 2 ------------------------------------------------------------
+
+    def _in_forwarding_set(self, state: SymState) -> bool:
+        if not state.history:
+            return False
+        current_hash = state.history[-1][1]
+        total = self.hash_counts.get(current_hash, 0)
+        own = self.own_counts.get(state.sid, Counter()).get(current_hash, 0)
+        return total > own
+
+    def pick(self, worklist, engine) -> int:
+        forwarding = [
+            i for i, state in enumerate(worklist) if self._in_forwarding_set(state)
+        ]
+        if forwarding:
+            engine.stats.dsm_fastforward_picks += 1
+            best = min(forwarding, key=lambda i: topological_key(worklist[i], engine))
+            sid = worklist[best].sid
+            if sid not in self.ff_sids:
+                self.ff_sids.add(sid)
+                engine.stats.dsm_fastforward_states += 1
+            return best
+        return self.driving.pick(worklist, engine)

@@ -1,0 +1,133 @@
+"""Search strategies (the ``pickNext`` of Algorithm 1).
+
+The engine pops one state per iteration; strategies choose which.  The
+``topological`` strategy realizes static state merging's exploration order
+(deepest-behind states first, so partners wait at join points); ``coverage``
+approximates KLEE's coverage-optimized searcher used in the paper's
+incomplete-exploration experiments (§5.3/§5.5).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from ..engine.state import SymState
+
+
+class Strategy:
+    """Base class; hooks are no-ops so strategies track only what they need."""
+
+    name = "abstract"
+
+    def pick(self, worklist: list[SymState], engine) -> int:
+        raise NotImplementedError
+
+    def on_add(self, state: SymState) -> None:
+        pass
+
+    def on_remove(self, state: SymState) -> None:
+        pass
+
+
+class DfsStrategy(Strategy):
+    name = "dfs"
+
+    def pick(self, worklist, engine) -> int:
+        return len(worklist) - 1
+
+
+class BfsStrategy(Strategy):
+    name = "bfs"
+
+    def pick(self, worklist, engine) -> int:
+        return 0
+
+
+class RandomStrategy(Strategy):
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    def pick(self, worklist, engine) -> int:
+        return self.rng.randrange(len(worklist))
+
+
+class CoverageStrategy(Strategy):
+    """Prefer states about to execute uncovered code; de-prioritize rework.
+
+    States whose current block is not yet covered win outright; otherwise
+    the state whose current block has been picked least often wins (an
+    approximation of KLEE's coverage-optimized searcher: it avoids burning
+    the budget on additional unrollings of already-covered loops).
+    """
+
+    name = "coverage"
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+        self.pick_counts: Counter = Counter()
+
+    def pick(self, worklist, engine) -> int:
+        best_idx = 0
+        best_key = None
+        for i, state in enumerate(worklist):
+            frame = state.top
+            loc = (frame.func, frame.block)
+            uncovered = 0 if loc not in engine.coverage.covered else 1
+            key = (uncovered, self.pick_counts[loc], self.rng.random())
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = i
+        frame = worklist[best_idx].top
+        self.pick_counts[(frame.func, frame.block)] += 1
+        return best_idx
+
+
+class TopologicalStrategy(Strategy):
+    """Explore in CFG topological order (static state merging's order).
+
+    Deeper call stacks first (finish callees before their callers resume),
+    then smallest reverse-postorder index of the current block — so states
+    that are 'behind' catch up and everyone meets at join points.
+    """
+
+    name = "topological"
+
+    def pick(self, worklist, engine) -> int:
+        best_idx = 0
+        best_key = None
+        for i, state in enumerate(worklist):
+            key = topological_key(state, engine)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+
+def topological_key(state: SymState, engine) -> tuple:
+    frame = state.top
+    rpo = engine.rpo_index(frame.func)
+    return (
+        -len(state.frames),
+        rpo.get(frame.block, 1 << 30),
+        frame.idx,
+        state.generation,
+        state.sid,
+    )
+
+
+def make_strategy(name: str, seed: int = 0) -> Strategy:
+    """Factory used by the engine config."""
+    if name == "dfs":
+        return DfsStrategy()
+    if name == "bfs":
+        return BfsStrategy()
+    if name == "random":
+        return RandomStrategy(seed)
+    if name == "coverage":
+        return CoverageStrategy(seed)
+    if name == "topological":
+        return TopologicalStrategy()
+    raise ValueError(f"unknown strategy {name!r}")

@@ -1,0 +1,30 @@
+"""Constraint-solving substrate: the role STP plays under KLEE.
+
+Layers (top to bottom): :class:`SolverChain` facade, query cache,
+independent-constraint splitting, incomplete fast path, bit-blasting to
+CNF, and a from-scratch CDCL SAT solver.
+"""
+
+from .bitblast import BitBlaster, check_sat
+from .cache import QueryCache
+from .domains import quick_check
+from .independence import relevant_constraints, split_independent
+from .portfolio import CheckResult, SolverChain, SolverStats, SolverTimeout, complete_model
+from .sat import CDCLSolver, SatResult, luby
+
+__all__ = [
+    "BitBlaster",
+    "CDCLSolver",
+    "CheckResult",
+    "QueryCache",
+    "SatResult",
+    "SolverChain",
+    "SolverStats",
+    "SolverTimeout",
+    "check_sat",
+    "complete_model",
+    "luby",
+    "quick_check",
+    "relevant_constraints",
+    "split_independent",
+]

@@ -1,0 +1,87 @@
+"""Query caching in the style of KLEE's counterexample cache.
+
+Constraint sets are canonicalized to frozensets of interned-expression ids.
+Three lookup tiers:
+
+* **exact** — same constraint set seen before (SAT model or UNSAT verdict);
+* **subset-UNSAT** — a previously UNSAT set that is a subset of the query
+  proves the query UNSAT (adding constraints cannot restore satisfiability);
+* **model reuse** — recent SAT models are cheap to *evaluate* against the
+  new query; any hit proves SAT (this subsumes superset-SAT lookups).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..expr.evaluate import EvalError, evaluate
+from ..expr.nodes import Expr
+
+
+class QueryCache:
+    """Bounded cache of solver verdicts keyed by canonical constraint sets."""
+
+    def __init__(self, max_entries: int = 8192, max_models: int = 64, max_unsat_sets: int = 256):
+        self._exact: OrderedDict[frozenset[int], tuple[bool, dict[str, int] | None]] = (
+            OrderedDict()
+        )
+        self._recent_models: OrderedDict[int, dict[str, int]] = OrderedDict()
+        self._model_counter = 0
+        self._unsat_sets: OrderedDict[frozenset[int], None] = OrderedDict()
+        self.max_entries = max_entries
+        self.max_models = max_models
+        self.max_unsat_sets = max_unsat_sets
+        self.hits_exact = 0
+        self.hits_subset_unsat = 0
+        self.hits_model_reuse = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(constraints: list[Expr]) -> frozenset[int]:
+        return frozenset(c.eid for c in constraints)
+
+    def lookup(self, constraints: list[Expr]) -> tuple[bool, dict[str, int] | None] | None:
+        """Return a cached (is_sat, model) verdict, or None on miss."""
+        key = self.key_of(constraints)
+        hit = self._exact.get(key)
+        if hit is not None:
+            self._exact.move_to_end(key)
+            self.hits_exact += 1
+            return hit
+        for unsat_key in self._unsat_sets:
+            if unsat_key <= key:
+                self.hits_subset_unsat += 1
+                return (False, None)
+        for model in reversed(self._recent_models.values()):
+            try:
+                if all(evaluate(c, model) for c in constraints):
+                    self.hits_model_reuse += 1
+                    return (True, model)
+            except EvalError:
+                continue
+        self.misses += 1
+        return None
+
+    def store(self, constraints: list[Expr], is_sat: bool, model: dict[str, int] | None) -> None:
+        key = self.key_of(constraints)
+        self._exact[key] = (is_sat, model)
+        if len(self._exact) > self.max_entries:
+            self._exact.popitem(last=False)
+        if is_sat and model is not None:
+            self._model_counter += 1
+            self._recent_models[self._model_counter] = model
+            if len(self._recent_models) > self.max_models:
+                self._recent_models.popitem(last=False)
+        elif not is_sat:
+            self._unsat_sets[key] = None
+            if len(self._unsat_sets) > self.max_unsat_sets:
+                self._unsat_sets.popitem(last=False)
+
+    def clear(self) -> None:
+        self._exact.clear()
+        self._recent_models.clear()
+        self._unsat_sets.clear()
+
+    @property
+    def hits(self) -> int:
+        return self.hits_exact + self.hits_subset_unsat + self.hits_model_reuse

@@ -1,0 +1,210 @@
+"""The solver chain: simplification → cache → fast path → bit-blasting.
+
+:class:`SolverChain` is the engine-facing facade, mirroring KLEE's stacked
+solvers (independent-constraint splitter, counterexample cache, and STP at
+the bottom — here our own CDCL bit-blaster).
+
+Besides wall-clock time, the chain maintains a deterministic *cost unit*
+counter (SAT decisions + propagations, plus a constant per query) used by
+the experiment harness as a platform-independent proxy for solver load.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..expr import ops
+from ..expr.nodes import Expr
+from ..expr.subst import conjuncts as flatten_conjuncts
+from .bitblast import BitBlaster
+from .cache import QueryCache
+from .domains import SAT, UNSAT, quick_check
+from .independence import split_independent
+from .sat import SatResult
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated across all queries of one chain instance."""
+
+    queries: int = 0
+    sat_answers: int = 0
+    unsat_answers: int = 0
+    const_answers: int = 0
+    cache_hits: int = 0
+    fastpath_hits: int = 0
+    sat_solver_runs: int = 0
+    sat_decisions: int = 0
+    sat_conflicts: int = 0
+    sat_propagations: int = 0
+    cost_units: int = 0
+    time_total: float = 0.0
+    timeouts: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class CheckResult:
+    is_sat: bool
+    model: dict[str, int] | None = None
+
+
+class SolverTimeout(Exception):
+    """A query exceeded the per-query conflict budget."""
+
+
+@dataclass
+class SolverChain:
+    """Decides conjunctions of boolean expressions.
+
+    Args:
+        use_cache: enable the counterexample/model cache tier.
+        use_fastpath: enable the equality/interval/probing fast path.
+        use_independence: split queries into variable-disjoint groups.
+        conflict_budget: per-query CDCL conflict limit (None = unlimited);
+            exceeding it raises :class:`SolverTimeout`.
+    """
+
+    use_cache: bool = True
+    use_fastpath: bool = True
+    use_independence: bool = True
+    conflict_budget: int | None = 200_000
+    cache: QueryCache = field(default_factory=QueryCache)
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def check(self, constraints) -> CheckResult:
+        """Is the conjunction of ``constraints`` satisfiable? Model included."""
+        start = time.perf_counter()
+        self.stats.queries += 1
+        self.stats.cost_units += 1
+        try:
+            result = self._check_inner(list(constraints))
+        finally:
+            self.stats.time_total += time.perf_counter() - start
+        if result.is_sat:
+            self.stats.sat_answers += 1
+        else:
+            self.stats.unsat_answers += 1
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_inner(self, constraints: list[Expr]) -> CheckResult:
+        # Normalize: flatten conjunctions, drop trues, dedupe.
+        flat: list[Expr] = []
+        seen: set[int] = set()
+        for c in constraints:
+            for leaf in flatten_conjuncts(c):
+                if leaf.is_false():
+                    self.stats.const_answers += 1
+                    return CheckResult(False)
+                if leaf.is_true() or leaf.eid in seen:
+                    continue
+                seen.add(leaf.eid)
+                flat.append(leaf)
+        if not flat:
+            self.stats.const_answers += 1
+            return CheckResult(True, {})
+
+        if self.use_cache:
+            hit = self.cache.lookup(flat)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return CheckResult(hit[0], dict(hit[1]) if hit[1] is not None else None)
+
+        groups = split_independent(flat) if self.use_independence else [flat]
+        model: dict[str, int] = {}
+        for group in groups:
+            sub = self._check_group(group)
+            if not sub.is_sat:
+                if self.use_cache:
+                    self.cache.store(flat, False, None)
+                return CheckResult(False)
+            if sub.model:
+                # A cache hit may return a model binding variables outside
+                # this group (recent models are full assignments); only the
+                # group's own variables are authoritative here — anything
+                # else could clobber another group's solution.
+                group_vars = set()
+                for c in group:
+                    group_vars |= c.variables
+                model.update({k: v for k, v in sub.model.items() if k in group_vars})
+        if self.use_cache:
+            self.cache.store(flat, True, model)
+        return CheckResult(True, model)
+
+    def _check_group(self, group: list[Expr]) -> CheckResult:
+        if self.use_cache and len(group) > 1:
+            hit = self.cache.lookup(group)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return CheckResult(hit[0], dict(hit[1]) if hit[1] is not None else None)
+        if self.use_fastpath:
+            verdict, model = quick_check(group)
+            if verdict == SAT:
+                self.stats.fastpath_hits += 1
+                self._store_group(group, True, model)
+                return CheckResult(True, model)
+            if verdict == UNSAT:
+                self.stats.fastpath_hits += 1
+                self._store_group(group, False, None)
+                return CheckResult(False)
+        return self._check_sat(group)
+
+    def _store_group(self, group: list[Expr], is_sat: bool, model) -> None:
+        if self.use_cache and len(group) > 1:
+            self.cache.store(group, is_sat, model)
+
+    def _check_sat(self, group: list[Expr]) -> CheckResult:
+        blaster = BitBlaster()
+        for c in group:
+            blaster.assert_expr(c)
+        self.stats.sat_solver_runs += 1
+        try:
+            model = blaster.solve(self.conflict_budget)
+        except TimeoutError as exc:
+            self.stats.timeouts += 1
+            self._account_sat(blaster)
+            raise SolverTimeout(str(exc)) from exc
+        self._account_sat(blaster)
+        if model is None:
+            self._store_group(group, False, None)
+            return CheckResult(False)
+        self._store_group(group, True, model)
+        return CheckResult(True, model)
+
+    def _account_sat(self, blaster: BitBlaster) -> None:
+        sat = blaster.sat
+        self.stats.sat_decisions += sat.stats_decisions
+        self.stats.sat_conflicts += sat.stats_conflicts
+        self.stats.sat_propagations += sat.stats_propagations
+        self.stats.cost_units += sat.stats_decisions + sat.stats_conflicts
+
+    # -- convenience API used by the engine ------------------------------------
+
+    def is_satisfiable(self, constraints) -> bool:
+        return self.check(constraints).is_sat
+
+    def get_model(self, constraints) -> dict[str, int] | None:
+        result = self.check(constraints)
+        return result.model if result.is_sat else None
+
+    def must_be_true(self, path_condition, expr: Expr) -> bool:
+        """True iff ``expr`` holds on every solution of the path condition."""
+        return not self.check(list(path_condition) + [ops.not_(expr)]).is_sat
+
+    def may_be_true(self, path_condition, expr: Expr) -> bool:
+        """True iff some solution of the path condition satisfies ``expr``."""
+        return self.check(list(path_condition) + [expr]).is_sat
+
+
+def complete_model(model: dict[str, int], variables) -> dict[str, int]:
+    """Fill unconstrained variables with 0 (deterministic test inputs)."""
+    out = dict(model)
+    for v in variables:
+        name = v.name if isinstance(v, Expr) else v
+        out.setdefault(name, 0)
+    return out

@@ -1,0 +1,323 @@
+"""A from-scratch CDCL SAT solver.
+
+This plays the role STP/MiniSat play under KLEE: the bit-blaster
+(:mod:`repro.solver.bitblast`) lowers bitvector queries to CNF and this
+solver decides them.  Features: two-watched-literal propagation, first-UIP
+clause learning, non-chronological backjumping, VSIDS-style activity
+decisions with phase saving, and Luby restarts.
+
+Literals are non-zero Python ints: ``+v`` is the positive literal of
+variable ``v`` (1-based), ``-v`` its negation.
+"""
+
+from __future__ import annotations
+
+UNASSIGNED = -1
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class SatResult:
+    SAT = "sat"
+    UNSAT = "unsat"
+
+
+class CDCLSolver:
+    """CDCL SAT solver over clauses added with :meth:`add_clause`.
+
+    Typical use::
+
+        s = CDCLSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a])
+        assert s.solve() == SatResult.SAT
+        assert s.value(b) is True
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}
+        self.assign: list[int] = [UNASSIGNED]  # index 0 unused
+        self.level: list[int] = [0]
+        self.reason: list[int | None] = [None]
+        self.activity: list[float] = [0.0]
+        self.phase: list[bool] = [False]
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.prop_head = 0
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.ok = True
+        # Statistics (exposed via repro.solver stats; used as the
+        # deterministic "solver cost" metric in experiments).
+        self.stats_decisions = 0
+        self.stats_propagations = 0
+        self.stats_conflicts = 0
+        self.stats_learned = 0
+        self.stats_restarts = 0
+
+    # -- problem construction ------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        v = self.num_vars
+        self.watches[v] = []
+        self.watches[-v] = []
+        return v
+
+    def add_clause(self, lits: list[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT.
+
+        Must be called before :meth:`solve` (no incremental clause addition
+        below decision level 0 is needed by the bit-blaster).
+        """
+        if not self.ok:
+            return False
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._lit_value(lit)
+            if val is True and self.level[abs(lit)] == 0:
+                return True  # already satisfied at root
+            if val is False and self.level[abs(lit)] == 0:
+                continue  # falsified at root: drop literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self.ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self.ok = False
+                return False
+            return True
+        idx = len(self.clauses)
+        self.clauses.append(out)
+        self.watches[out[0]].append(idx)
+        self.watches[out[1]].append(idx)
+        return True
+
+    # -- assignment helpers ---------------------------------------------------
+
+    def _lit_value(self, lit: int) -> bool | None:
+        val = self.assign[abs(lit)]
+        if val == UNASSIGNED:
+            return None
+        return bool(val) if lit > 0 else not bool(val)
+
+    def value(self, var: int) -> bool | None:
+        """Model value of a variable after a SAT answer."""
+        val = self.assign[var]
+        return None if val == UNASSIGNED else bool(val)
+
+    def _enqueue(self, lit: int, reason_clause: int | None) -> bool:
+        val = self._lit_value(lit)
+        if val is not None:
+            return val
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason_clause
+        self.trail.append(lit)
+        return True
+
+    # -- BCP with two watched literals ----------------------------------------
+
+    def _propagate(self) -> int | None:
+        """Propagate; returns a conflicting clause index or None."""
+        while self.prop_head < len(self.trail):
+            lit = self.trail[self.prop_head]
+            self.prop_head += 1
+            self.stats_propagations += 1
+            falsified = -lit
+            watch_list = self.watches[falsified]
+            new_list: list[int] = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                ci = watch_list[i]
+                i += 1
+                clause = self.clauses[ci]
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    new_list.append(ci)
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1]].append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_list.append(ci)
+                if self._lit_value(first) is False:
+                    # Conflict: keep remaining watches, report.
+                    new_list.extend(watch_list[i:n])
+                    self.watches[falsified] = new_list
+                    return ci
+                self._enqueue(first, ci)
+            self.watches[falsified] = new_list
+        return None
+
+    # -- conflict analysis ------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns (learned clause with asserting literal first, backjump level).
+        """
+        cur_level = len(self.trail_lim)
+        seen = [False] * (self.num_vars + 1)
+        learned: list[int] = []
+        counter = 0
+        lit = None
+        clause = self.clauses[conflict]
+        idx = len(self.trail) - 1
+        while True:
+            for q in clause if lit is None else clause[1:]:
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Pick next literal from the trail at current level.
+            while not seen[abs(self.trail[idx])]:
+                idx -= 1
+            lit = self.trail[idx]
+            idx -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learned.insert(0, -lit)
+                break
+            clause = self.clauses[self.reason[var]]
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        max_i = 1
+        for k in range(2, len(learned)):
+            if self.level[abs(learned[k])] > self.level[abs(learned[max_i])]:
+                max_i = k
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self.level[abs(learned[1])]
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            bound = self.trail_lim.pop()
+            while len(self.trail) > bound:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.phase[var] = self.assign[var] == 1
+                self.assign[var] = UNASSIGNED
+                self.reason[var] = None
+        self.prop_head = min(self.prop_head, len(self.trail))
+
+    # -- decisions -----------------------------------------------------------
+
+    def _decide(self) -> int | None:
+        best_var = 0
+        best_act = -1.0
+        for v in range(1, self.num_vars + 1):
+            if self.assign[v] == UNASSIGNED and self.activity[v] > best_act:
+                best_var = v
+                best_act = self.activity[v]
+        if best_var == 0:
+            return None
+        return best_var if self.phase[best_var] else -best_var
+
+    # -- main loop -----------------------------------------------------------
+
+    def solve(self, conflict_budget: int | None = None) -> str:
+        """Run the CDCL loop; returns :data:`SatResult.SAT` or ``UNSAT``.
+
+        ``conflict_budget`` bounds total conflicts (raises ``TimeoutError``
+        when exhausted); experiments use it as a per-query solver timeout.
+        """
+        if not self.ok:
+            return SatResult.UNSAT
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            return SatResult.UNSAT
+        restart_num = 1
+        conflicts_until_restart = 100 * luby(restart_num)
+        total_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats_conflicts += 1
+                total_conflicts += 1
+                if conflict_budget is not None and total_conflicts > conflict_budget:
+                    raise TimeoutError("SAT conflict budget exhausted")
+                if not self.trail_lim:
+                    self.ok = False
+                    return SatResult.UNSAT
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.watches[learned[0]].append(idx)
+                    self.watches[learned[1]].append(idx)
+                    self.stats_learned += 1
+                    self._enqueue(learned[0], idx)
+                self.var_inc /= self.var_decay
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    restart_num += 1
+                    conflicts_until_restart = 100 * luby(restart_num)
+                    self.stats_restarts += 1
+                    self._backtrack(0)
+            else:
+                decision = self._decide()
+                if decision is None:
+                    return SatResult.SAT
+                self.stats_decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(decision, None)

@@ -1,0 +1,20 @@
+"""Shared test fixtures and helpers."""
+
+import pytest
+
+from repro.expr import ops
+
+
+@pytest.fixture
+def x8():
+    return ops.bv_var("x", 8)
+
+
+@pytest.fixture
+def y8():
+    return ops.bv_var("y", 8)
+
+
+@pytest.fixture
+def x32():
+    return ops.bv_var("x32", 32)

@@ -1,0 +1,60 @@
+"""Call graph, bottom-up order, recursion detection."""
+
+from repro.analysis.callgraph import bottom_up_order, call_graph, is_recursive
+from repro.lang import compile_program
+
+SRC = """
+int leaf(int a) { return a + 1; }
+int mid(int a) { return leaf(a) + leaf(a + 1); }
+int selfrec(int a) { if (a <= 0) return 0; return selfrec(a - 1); }
+int ping(int a);
+int main(int argc, char argv[][]) { return mid(argc) + selfrec(argc); }
+"""
+
+MUTUAL = """
+int pong(int a) { if (a <= 0) return 0; return ping(a - 1); }
+int ping(int a) { if (a <= 0) return 1; return pong(a - 1); }
+int main(int argc, char argv[][]) { return ping(argc); }
+"""
+
+
+def test_call_graph_edges():
+    module = compile_program("int f(int a) { return a; }\n"
+                             "int main(int argc, char argv[][]) { return f(argc); }",
+                             include_stdlib=False)
+    graph = call_graph(module)
+    assert graph["main"] == {"f"}
+    assert graph["f"] == set()
+
+
+def test_bottom_up_order_callees_first():
+    module = compile_program(
+        "int leaf(int a) { return a + 1; }\n"
+        "int mid(int a) { return leaf(a); }\n"
+        "int main(int argc, char argv[][]) { return mid(argc); }",
+        include_stdlib=False,
+    )
+    order = bottom_up_order(module)
+    assert order.index("leaf") < order.index("mid") < order.index("main")
+
+
+def test_self_recursion_detected():
+    module = compile_program(
+        "int f(int a) { if (a <= 0) return 0; return f(a - 1); }\n"
+        "int main(int argc, char argv[][]) { return f(argc); }",
+        include_stdlib=False,
+    )
+    assert "f" in is_recursive(module)
+    assert "main" not in is_recursive(module)
+
+
+def test_mutual_recursion_detected():
+    module = compile_program(MUTUAL, include_stdlib=False)
+    recursive = is_recursive(module)
+    assert "ping" in recursive and "pong" in recursive
+
+
+def test_all_functions_in_order():
+    module = compile_program(SRC.replace("int ping(int a);\n", ""), include_stdlib=False)
+    order = bottom_up_order(module)
+    assert set(order) == set(module.functions)

@@ -1,0 +1,53 @@
+"""Flow-insensitive dependence closure tests."""
+
+from repro.analysis.depend import DependenceInfo, dependence_edges
+from repro.lang import compile_program
+
+MAIN = "int main(int argc, char argv[][]) { %s }"
+
+
+def info_of(src, func="main", stdlib=False):
+    module = compile_program(src, include_stdlib=stdlib)
+    return DependenceInfo(module.function(func), module)
+
+
+def test_direct_assignment_edge():
+    info = info_of(MAIN % "int a = argc; int b = a; return b;")
+    assert "b" in info.closure("a")
+    assert "a" in info.closure("argc")
+
+
+def test_transitive_closure():
+    info = info_of(MAIN % "int a = argc; int b = a + 1; int c = b * 2; return c;")
+    assert "c" in info.closure("argc")
+
+
+def test_no_spurious_edge():
+    info = info_of(MAIN % "int a = 1; int b = 2; return a + b;")
+    assert "b" not in info.closure("a")
+
+
+def test_array_coarse_dependence():
+    info = info_of(MAIN % "char buf[4]; buf[0] = argc; int x = buf[1]; return x;")
+    # store into buf taints the array; loads from buf taint x
+    assert "buf" in info.closure("argc")
+    assert "x" in info.closure("buf")
+
+
+def test_index_feeds_load_result():
+    info = info_of(MAIN % "int i = argc; return argv[1][i];")
+    closure = info.closure("i")
+    assert any(v.startswith("%t") for v in closure)  # the load temp
+
+
+def test_call_propagates_into_result():
+    src = ("int f(int a) { return a; }\n"
+           + MAIN % "int x = f(argc); return x;")
+    info = info_of(src)
+    assert "x" in info.closure("argc")
+
+
+def test_may_depend_api():
+    info = info_of(MAIN % "int a = argc; return a;")
+    assert info.may_depend("argc", frozenset({"a"}))
+    assert not info.may_depend("argc", frozenset({"unrelated"}))

@@ -1,0 +1,68 @@
+"""Static trip-count recognition."""
+
+from repro.analysis.tripcount import loop_trip_count, trip_counts
+from repro.lang import compile_program
+
+MAIN = "int main(int argc, char argv[][]) { %s }"
+
+
+def fn_of(body):
+    return compile_program(MAIN % body, include_stdlib=False).function("main")
+
+
+def single_loop(fn):
+    loops = fn.natural_loops()
+    assert len(loops) == 1
+    return loops[0]
+
+
+def test_simple_counted_loop():
+    fn = fn_of("int s = 0; for (int i = 0; i < 10; i++) s = s + i; return s;")
+    assert loop_trip_count(fn, single_loop(fn)) == 10
+
+
+def test_nonzero_start():
+    fn = fn_of("int s = 0; for (int i = 2; i < 10; i++) s++; return s;")
+    assert loop_trip_count(fn, single_loop(fn)) == 8
+
+
+def test_step_two():
+    fn = fn_of("int s = 0; for (int i = 0; i < 10; i += 2) s++; return s;")
+    assert loop_trip_count(fn, single_loop(fn)) == 5
+
+
+def test_le_bound():
+    fn = fn_of("int s = 0; for (int i = 0; i <= 10; i++) s++; return s;")
+    assert loop_trip_count(fn, single_loop(fn)) == 11
+
+
+def test_zero_trips():
+    fn = fn_of("int s = 0; for (int i = 5; i < 3; i++) s++; return s;")
+    assert loop_trip_count(fn, single_loop(fn)) == 0
+
+
+def test_symbolic_bound_unknown():
+    fn = fn_of("int s = 0; for (int i = 0; i < argc; i++) s++; return s;")
+    assert loop_trip_count(fn, single_loop(fn)) is None
+
+
+def test_modified_counter_unknown():
+    fn = fn_of("int s = 0; for (int i = 0; i < 10; i++) { if (s) i = 0; s++; } return s;")
+    assert loop_trip_count(fn, single_loop(fn)) is None
+
+
+def test_while_with_counted_shape():
+    fn = fn_of("int i = 0; while (i < 7) { i = i + 1; } return i;")
+    assert loop_trip_count(fn, single_loop(fn)) == 7
+
+
+def test_kappa_fallback_in_trip_counts():
+    fn = fn_of("int s = 0; for (int i = 0; i < argc; i++) s++; return s;")
+    counts = trip_counts(fn, kappa=10)
+    assert list(counts.values()) == [10]
+
+
+def test_huge_bound_clamped():
+    fn = fn_of("int s = 0; for (int i = 0; i < 1000000; i++) s++; return s;")
+    counts = trip_counts(fn, kappa=10)
+    assert list(counts.values()) == [640]

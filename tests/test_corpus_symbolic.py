@@ -1,0 +1,67 @@
+"""Symbolic golden path counts for the corpus (plain exploration).
+
+These freeze the exact number of feasible paths each tool has at its
+default symbolic input size.  Any change to the front end, the engine's
+feasibility checking, or the argv model that alters the path space shows
+up here immediately.  (factor/seq/link are excluded: division-heavy or
+too large to finish within unit-test budgets at default sizes.)
+
+Forks are always paths-1 in plain mode (a binary exploration tree), which
+is asserted as a structural invariant.
+"""
+
+import pytest
+
+from repro.env.runner import run_symbolic
+
+GOLDEN_PATHS = {
+    "basename": 67,
+    "cat": 27,
+    "comm": 31,
+    "cut": 27,
+    "dirname": 31,
+    "echo": 18,
+    "expand": 49,
+    "false": 1,
+    "fold": 26,
+    "head": 71,
+    "join": 39,
+    "nice": 28,
+    "paste": 9,
+    "pr": 18,
+    "rev": 16,
+    "sleep": 13,
+    "test": 20,
+    "tr": 53,
+    "true": 1,
+    "tsort": 21,
+    "uniq": 140,
+    "wc": 84,
+    "yes": 3,
+    "nl": 27,
+    "split": 71,
+    "cksum": 40,
+    "wc-stdin": 40,
+    "tac-stdin": 4,
+}
+
+
+@pytest.mark.parametrize("program,expected", sorted(GOLDEN_PATHS.items()))
+def test_plain_path_count_golden(program, expected):
+    result = run_symbolic(program, merging="none", similarity="never", strategy="dfs",
+                          generate_tests=False)
+    assert not result.stats.timed_out
+    assert result.paths == expected
+    assert result.stats.forks == expected - 1, "plain exploration is a binary tree"
+    assert result.engine.stats.errors_found == 0, "corpus programs are bug-free"
+
+
+@pytest.mark.parametrize("program", ["echo", "cut", "uniq", "wc"])
+def test_path_count_independent_of_strategy(program):
+    """The feasible path space is strategy-invariant (only order changes)."""
+    baseline = run_symbolic(program, merging="none", similarity="never",
+                            strategy="dfs", generate_tests=False).paths
+    for strategy in ("bfs", "random", "coverage", "topological"):
+        paths = run_symbolic(program, merging="none", similarity="never",
+                             strategy=strategy, generate_tests=False).paths
+        assert paths == baseline, strategy

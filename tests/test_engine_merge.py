@@ -1,0 +1,121 @@
+"""State merging: guards, stores, memory, pcs, multiplicity."""
+
+from repro.engine.merge import merge_states, split_guard
+from repro.engine.state import ArrayBinding, Frame, Region, SymState
+from repro.expr import ops
+from repro.expr.evaluate import evaluate
+
+X = ops.bv_var("mx", 8)
+
+
+def mk(sid, pc, store, cells=None):
+    s = SymState(sid)
+    s.frames = [Frame("main", "blk", 0, dict(store), {}, None, 1)]
+    if cells is not None:
+        key = (1, "main", "buf")
+        s.regions[key] = Region(tuple(cells), None, 8)
+        s.frames[0].arrays["buf"] = ArrayBinding(key)
+    s.pc = tuple(pc)
+    return s
+
+
+COND = ops.ult(X, ops.bv(5, 8))
+
+
+def test_split_guard_common_prefix():
+    base = ops.ult(X, ops.bv(100, 8))
+    prefix_len, s1, s2 = split_guard((base, COND), (base, ops.not_(COND)))
+    assert prefix_len == 1
+    assert s1 is COND
+    assert s2 is ops.not_(COND)
+
+
+def test_merge_builds_ite_store():
+    a = mk(1, [COND], {"v": ops.bv(1, 8)})
+    b = mk(2, [ops.not_(COND)], {"v": ops.bv(2, 8)})
+    merged = merge_states(a, b, 3)
+    assert merged is not None
+    v = merged.frames[0].store["v"]
+    assert evaluate(v, {"mx": 0}) == 1   # COND holds
+    assert evaluate(v, {"mx": 200}) == 2
+    assert merged.multiplicity == 2
+
+
+def test_merged_pc_is_disjunction_with_prefix():
+    base = ops.ult(X, ops.bv(100, 8))
+    a = mk(1, [base, COND], {"v": ops.bv(1, 8)})
+    b = mk(2, [base, ops.not_(COND)], {"v": ops.bv(2, 8)})
+    merged = merge_states(a, b, 3)
+    # COND or not COND simplifies to true, leaving just the prefix
+    assert merged.pc == (base,)
+
+
+def test_equal_values_stay_plain():
+    a = mk(1, [COND], {"v": ops.bv(7, 8)})
+    b = mk(2, [ops.not_(COND)], {"v": ops.bv(7, 8)})
+    merged = merge_states(a, b, 3)
+    assert merged.frames[0].store["v"].is_const()
+
+
+def test_memory_cells_merge():
+    a = mk(1, [COND], {}, cells=[ops.bv(1, 8), ops.bv(0, 8)])
+    b = mk(2, [ops.not_(COND)], {}, cells=[ops.bv(2, 8), ops.bv(0, 8)])
+    merged = merge_states(a, b, 3)
+    cell0 = merged.regions[(1, "main", "buf")].cells[0]
+    assert evaluate(cell0, {"mx": 0}) == 1
+    assert evaluate(cell0, {"mx": 255}) == 2
+    # untouched cell keeps identity
+    assert merged.regions[(1, "main", "buf")].cells[1].value == 0
+
+
+def test_location_mismatch_refuses():
+    a = mk(1, [COND], {"v": ops.bv(1, 8)})
+    b = mk(2, [ops.not_(COND)], {"v": ops.bv(2, 8)})
+    b.frames[0].block = "other"
+    assert merge_states(a, b, 3) is None
+
+
+def test_shape_mismatch_refuses():
+    a = mk(1, [COND], {"v": ops.bv(1, 8)})
+    b = mk(2, [ops.not_(COND)], {"v": ops.bv(2, 8)})
+    b.output = (ops.bv(1, 8),)
+    assert merge_states(a, b, 3) is None
+
+
+def test_output_merges_elementwise():
+    a = mk(1, [COND], {})
+    b = mk(2, [ops.not_(COND)], {})
+    a.output = (ops.bv(65, 8),)
+    b.output = (ops.bv(66, 8),)
+    merged = merge_states(a, b, 3)
+    assert evaluate(merged.output[0], {"mx": 0}) == 65
+    assert evaluate(merged.output[0], {"mx": 250}) == 66
+
+
+def test_dead_variables_skipped_with_oracle():
+    a = mk(1, [COND], {"dead": ops.bv(1, 8), "live": ops.bv(1, 8)})
+    b = mk(2, [ops.not_(COND)], {"dead": ops.bv(2, 8), "live": ops.bv(3, 8)})
+
+    def live_oracle(frame_index, state):
+        return frozenset({"live"})
+
+    merged = merge_states(a, b, 3, live_scalars=live_oracle)
+    assert merged.frames[0].store["dead"].is_const()  # no ite for dead var
+    assert merged.frames[0].store["live"].is_symbolic()
+
+
+def test_exact_pcs_concatenate():
+    a = mk(1, [COND], {})
+    b = mk(2, [ops.not_(COND)], {})
+    a.exact_pcs = ((COND,),)
+    b.exact_pcs = ((ops.not_(COND),),)
+    merged = merge_states(a, b, 3)
+    assert len(merged.exact_pcs) == 2
+
+
+def test_multiplicity_accumulates_over_chains():
+    a = mk(1, [COND], {})
+    b = mk(2, [ops.not_(COND)], {})
+    a.multiplicity = 3
+    b.multiplicity = 4
+    assert merge_states(a, b, 3).multiplicity == 7

@@ -1,0 +1,122 @@
+"""Similarity relations: Eq. 1 semantics and state hashing."""
+
+from repro.engine.similarity import (
+    LiveVarSimilarity,
+    MergeAlways,
+    MergeNever,
+    QceSimilarity,
+    _compatible,
+    _h,
+)
+from repro.engine.state import Frame, SymState
+from repro.expr import ops
+from repro.lang import compile_program
+from repro.qce import QceAnalysis, QceParams
+
+SYM = ops.bv_var("simx", 8)
+
+
+def test_compatible_rule():
+    assert _compatible(ops.bv(5, 8), ops.bv(5, 8))        # equal concretes
+    assert _compatible(SYM, ops.bv(5, 8))                  # symbolic lhs
+    assert _compatible(ops.bv(5, 8), ops.add(SYM, SYM))    # symbolic rhs
+    assert not _compatible(ops.bv(5, 8), ops.bv(6, 8))     # differing concretes
+
+
+def test_h_maps_symbolic_to_sentinel():
+    assert _h(SYM) == _h(ops.add(SYM, ops.bv(1, 8)))
+    assert _h(ops.bv(5, 8)) != _h(ops.bv(6, 8))
+    assert _h(ops.bv(5, 8)) != _h(SYM)
+
+
+def mk(sid, store):
+    s = SymState(sid)
+    s.frames = [Frame("main", "entry", 0, dict(store), {}, None, 1)]
+    return s
+
+
+def test_merge_never_and_always():
+    a, b = mk(1, {"v": ops.bv(1, 8)}), mk(2, {"v": ops.bv(2, 8)})
+    assert not MergeNever().mergeable(a, b)
+    assert MergeAlways().mergeable(a, b)
+    assert MergeAlways().state_hash(a) == MergeAlways().state_hash(b)
+    assert MergeNever().state_hash(a) != MergeNever().state_hash(b)
+
+
+def qce_setup(alpha):
+    module = compile_program(
+        "int main(int argc, char argv[][]) {"
+        " int a = argc; int b = 0;"
+        " if (argc > 3) putchar('s');"
+        " if (a > 1) putchar('p'); if (a > 2) putchar('q');"
+        " putchar(b); return 0; }",  # b never feeds a query site: cold
+        include_stdlib=False,
+    )
+    qce = QceAnalysis(module, QceParams(alpha=alpha))
+    return module, QceSimilarity(qce)
+
+
+def make_pair(module, a_vals, b_vals, block=None):
+    fn = module.function("main")
+    label = block or fn.reverse_postorder()[1]
+    s1 = SymState(1)
+    s1.frames = [Frame("main", label, 0, dict(a_vals), {}, None, 1)]
+    s2 = SymState(2)
+    s2.frames = [Frame("main", label, 0, dict(b_vals), {}, None, 1)]
+    return s1, s2
+
+
+def test_qce_blocks_hot_concrete_difference():
+    module, sim = qce_setup(alpha=0.05)
+    base = {"argc": ops.bv(4, 32), "b": ops.bv(0, 32)}
+    s1, s2 = make_pair(module, {**base, "a": ops.bv(1, 32)}, {**base, "a": ops.bv(2, 32)})
+    assert not sim.mergeable(s1, s2), "a is hot and concretely different"
+
+
+def test_qce_allows_symbolic_hot_variable():
+    module, sim = qce_setup(alpha=0.05)
+    sym = ops.zext(SYM, 32)
+    base = {"argc": ops.bv(4, 32), "b": ops.bv(0, 32)}
+    s1, s2 = make_pair(module, {**base, "a": sym}, {**base, "a": ops.bv(2, 32)})
+    assert sim.mergeable(s1, s2), "Eq. 1: symbolic in one state suffices"
+
+
+def test_qce_allows_cold_concrete_difference():
+    module, sim = qce_setup(alpha=0.05)
+    base = {"argc": ops.bv(4, 32), "a": ops.bv(1, 32)}
+    s1, s2 = make_pair(module, {**base, "b": ops.bv(0, 32)}, {**base, "b": ops.bv(1, 32)})
+    assert sim.mergeable(s1, s2), "b is cold; differing concretes may merge"
+
+
+def test_qce_alpha_inf_merges_anything():
+    module, sim = qce_setup(alpha=float("inf"))
+    base = {"argc": ops.bv(4, 32), "b": ops.bv(0, 32)}
+    s1, s2 = make_pair(module, {**base, "a": ops.bv(1, 32)}, {**base, "a": ops.bv(2, 32)})
+    assert sim.mergeable(s1, s2)
+
+
+def test_qce_hash_equal_for_mergeable_concrete_states():
+    module, sim = qce_setup(alpha=0.05)
+    base = {"argc": ops.bv(4, 32), "a": ops.bv(1, 32)}
+    s1, s2 = make_pair(module, {**base, "b": ops.bv(0, 32)}, {**base, "b": ops.bv(1, 32)})
+    assert sim.state_hash(s1) == sim.state_hash(s2)
+
+
+def test_qce_hash_differs_for_hot_difference():
+    module, sim = qce_setup(alpha=0.05)
+    base = {"argc": ops.bv(4, 32), "b": ops.bv(0, 32)}
+    s1, s2 = make_pair(module, {**base, "a": ops.bv(1, 32)}, {**base, "a": ops.bv(2, 32)})
+    assert sim.state_hash(s1) != sim.state_hash(s2)
+
+
+def test_live_similarity_requires_identical_live_values():
+    def live_sets(state):
+        return [frozenset({"v"})]
+
+    sim = LiveVarSimilarity(live_sets)
+    a = mk(1, {"v": ops.bv(1, 8), "w": ops.bv(5, 8)})
+    b = mk(2, {"v": ops.bv(1, 8), "w": ops.bv(9, 8)})
+    c = mk(3, {"v": ops.bv(2, 8), "w": ops.bv(5, 8)})
+    assert sim.mergeable(a, b)       # only dead w differs
+    assert not sim.mergeable(a, c)   # live v differs
+    assert sim.state_hash(a) == sim.state_hash(b)

@@ -1,0 +1,42 @@
+"""Test-case generation."""
+
+from repro.engine.testgen import TestCase, TestSuite, make_test_case
+from repro.env.argv import ArgvSpec
+from repro.expr import ops
+from repro.solver.portfolio import SolverChain
+
+
+def test_make_test_case_decodes_argv():
+    spec = ArgvSpec(n_args=1, arg_len=2)
+    solver = SolverChain()
+    b0 = ops.bv_var("arg1_b0", 8)
+    b1 = ops.bv_var("arg1_b1", 8)
+    pc = (ops.eq(b0, ops.bv(ord("h"), 8)), ops.eq(b1, ops.bv(0, 8)))
+    case = make_test_case(solver, spec, pc, "path", multiplicity=3)
+    assert case is not None
+    assert case.argv == (b"prog", b"h")
+    assert case.multiplicity == 3
+    assert case.model_dict()["arg1_b0"] == ord("h")
+
+
+def test_make_test_case_unsat_returns_none():
+    spec = ArgvSpec(n_args=1, arg_len=1)
+    solver = SolverChain()
+    case = make_test_case(solver, spec, (ops.FALSE,), "path")
+    assert case is None
+
+
+def test_unconstrained_bytes_default_zero():
+    spec = ArgvSpec(n_args=1, arg_len=2)
+    case = make_test_case(SolverChain(), spec, (), "path")
+    assert case.argv == (b"prog", b"")
+
+
+def test_suite_partitions_kinds():
+    spec = ArgvSpec(n_args=1, arg_len=1)
+    suite = TestSuite(spec)
+    suite.add(TestCase("path", (b"p",), (), exit_code=0))
+    suite.add(TestCase("assert", (b"p",), (), line=3))
+    suite.add(TestCase("bounds", (b"p",), (), line=9))
+    assert len(suite.paths()) == 1
+    assert len(suite.errors()) == 2

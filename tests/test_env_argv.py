@@ -1,0 +1,76 @@
+"""Symbolic argv model."""
+
+import pytest
+
+from repro.env.argv import ArgvSpec, printable_constraints
+from repro.expr.evaluate import evaluate
+
+
+def test_geometry():
+    spec = ArgvSpec(n_args=2, arg_len=3)
+    assert spec.argc == 3
+    assert spec.cols == max(3, len(b"prog")) + 1
+    cells = spec.build_cells()
+    assert len(cells) == spec.argc * spec.cols
+
+
+def test_program_name_row_concrete():
+    spec = ArgvSpec(n_args=1, arg_len=2, prog_name=b"echo")
+    cells = spec.build_cells()
+    row0 = cells[: spec.cols]
+    assert bytes(c.value for c in row0[:4]) == b"echo"
+    assert row0[4].value == 0
+
+
+def test_symbolic_rows_and_forced_terminator():
+    spec = ArgvSpec(n_args=1, arg_len=2)
+    cells = spec.build_cells()
+    row1 = cells[spec.cols :]
+    assert row1[0].is_symbolic() and row1[1].is_symbolic()
+    assert row1[-1].value == 0  # forced NUL in the last column
+
+
+def test_input_variables_order():
+    spec = ArgvSpec(n_args=2, arg_len=2)
+    assert spec.input_variables() == ["arg1_b0", "arg1_b1", "arg2_b0", "arg2_b1"]
+    assert spec.symbolic_byte_count() == 4
+
+
+def test_concrete_args_pin_prefix():
+    spec = ArgvSpec(n_args=2, arg_len=2, concrete_args=(b"-n",))
+    names = spec.input_variables()
+    assert names == ["arg2_b0", "arg2_b1"]
+    cells = spec.build_cells()
+    row1 = cells[spec.cols : 2 * spec.cols]
+    assert bytes(c.value for c in row1[:2]) == b"-n"
+
+
+def test_decode_truncates_at_nul():
+    spec = ArgvSpec(n_args=2, arg_len=3)
+    model = {"arg1_b0": ord("h"), "arg1_b1": ord("i"), "arg1_b2": 0,
+             "arg2_b0": 0, "arg2_b1": ord("x"), "arg2_b2": ord("y")}
+    argv = spec.decode(model)
+    assert argv == [b"prog", b"hi", b""]
+
+
+def test_decode_defaults_missing_to_zero():
+    spec = ArgvSpec(n_args=1, arg_len=2)
+    assert spec.decode({}) == [b"prog", b""]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ArgvSpec(n_args=-1, arg_len=2)
+    with pytest.raises(ValueError):
+        ArgvSpec(n_args=1, arg_len=2, concrete_args=(b"a", b"b"))
+
+
+def test_printable_constraints_semantics():
+    spec = ArgvSpec(n_args=1, arg_len=1)
+    constraints = printable_constraints(spec)
+    assert len(constraints) == 1
+    c = constraints[0]
+    assert evaluate(c, {"arg1_b0": 0}) == 1      # NUL ok
+    assert evaluate(c, {"arg1_b0": ord("a")}) == 1
+    assert evaluate(c, {"arg1_b0": 7}) == 0      # control char rejected
+    assert evaluate(c, {"arg1_b0": 200}) == 0

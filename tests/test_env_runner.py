@@ -1,0 +1,41 @@
+"""One-call runner API."""
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.env.argv import ArgvSpec
+from repro.env.runner import run_symbolic, run_symbolic_module
+from repro.lang import compile_program
+
+
+def test_run_symbolic_defaults():
+    result = run_symbolic("echo")
+    assert result.program == "echo"
+    assert result.paths > 0
+    assert result.completed
+    assert result.coverage_blocks > 0
+    assert 0 < result.statement_coverage <= 1
+
+
+def test_run_symbolic_merging_kwargs():
+    result = run_symbolic("echo", merging="static", similarity="qce",
+                          strategy="topological")
+    assert result.stats.merges > 0
+    assert result.cost_units >= 0
+
+
+def test_run_symbolic_size_override():
+    result = run_symbolic("echo", n_args=1, arg_len=1)
+    assert result.spec.n_args == 1
+
+
+def test_run_symbolic_unknown_program():
+    with pytest.raises(KeyError):
+        run_symbolic("nonexistent")
+
+
+def test_run_symbolic_module_direct():
+    module = compile_program("int main(int argc, char argv[][]) { return argc; }")
+    result = run_symbolic_module(module, ArgvSpec(n_args=1, arg_len=1),
+                                 EngineConfig(generate_tests=False, similarity="never"))
+    assert result.paths == 1

@@ -1,0 +1,111 @@
+"""Symbolic stdin model (paper §5.1: argv *and* stdin as inputs)."""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.env import ArgvSpec
+from repro.expr.evaluate import evaluate
+from repro.lang import compile_program, run_concrete
+from repro.programs.registry import get_program
+
+ECHO_STDIN = """
+int main(int argc, char argv[][]) {
+    int c;
+    int n = 0;
+    while ((c = getchar()) != -1) {
+        putchar(c);
+        n++;
+    }
+    return n;
+}
+"""
+
+
+def test_spec_geometry_and_vars():
+    spec = ArgvSpec(n_args=1, arg_len=2, stdin_len=3)
+    assert spec.input_variables()[-4:] == ["stdin_b0", "stdin_b1", "stdin_b2", "stdin_len"]
+    cells = spec.stdin_cells()
+    assert len(cells) == ArgvSpec.STDIN_CAPACITY
+    assert all(c.is_symbolic() for c in cells[:3])
+    assert all(c.value == 0 for c in cells[3:])
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ArgvSpec(n_args=0, arg_len=1, stdin_len=ArgvSpec.STDIN_CAPACITY + 1)
+
+
+def test_preconditions_bound_length():
+    spec = ArgvSpec(n_args=0, arg_len=1, stdin_len=4)
+    [pre] = spec.stdin_preconditions()
+    assert evaluate(pre, {"stdin_len": 4}) == 1
+    assert evaluate(pre, {"stdin_len": 5}) == 0
+    assert ArgvSpec(n_args=0, arg_len=1).stdin_preconditions() == []
+
+
+def test_decode_stdin():
+    spec = ArgvSpec(n_args=0, arg_len=1, stdin_len=3)
+    model = {"stdin_len": 2, "stdin_b0": 104, "stdin_b1": 105, "stdin_b2": 99}
+    assert spec.decode_stdin(model) == b"hi"
+    assert spec.decode_stdin({}) == b""
+
+
+def test_concrete_getchar():
+    module = compile_program(ECHO_STDIN)
+    result = run_concrete(module, [b"p"], stdin=b"hello")
+    assert result.output == b"hello"
+    assert result.exit_code == 5
+    assert run_concrete(module, [b"p"]).output == b""
+
+
+def test_symbolic_stdin_path_count():
+    module = compile_program(ECHO_STDIN)
+    engine = Engine(module, ArgvSpec(n_args=0, arg_len=1, stdin_len=3),
+                    EngineConfig(merging="none", similarity="never", strategy="dfs",
+                                 generate_tests=False))
+    stats = engine.run()
+    # lengths 0..3 are the only branching: 4 paths
+    assert stats.paths_completed == 4
+
+
+def test_stdin_tests_replay():
+    module = compile_program(ECHO_STDIN)
+    engine = Engine(module, ArgvSpec(n_args=0, arg_len=1, stdin_len=2),
+                    EngineConfig(merging="none", similarity="never", strategy="dfs"))
+    engine.run()
+    lengths = set()
+    for case in engine.tests.paths():
+        replay = run_concrete(module, list(case.argv), stdin=case.stdin)
+        assert replay.exit_code == len(case.stdin)
+        assert replay.output == case.stdin
+        lengths.add(len(case.stdin))
+    assert lengths == {0, 1, 2}
+
+
+def test_merging_sound_on_stdin_program():
+    info = get_program("wc-stdin")
+    spec = ArgvSpec(n_args=0, arg_len=1, stdin_len=info.default_stdin)
+    plain = Engine(info.compile(), spec,
+                   EngineConfig(merging="none", similarity="never", strategy="dfs",
+                                generate_tests=False))
+    plain_stats = plain.run()
+    merged = Engine(info.compile(), spec,
+                    EngineConfig(merging="static", similarity="qce",
+                                 strategy="topological", track_exact_paths=True,
+                                 generate_tests=False))
+    merged_stats = merged.run()
+    assert merged_stats.exact_paths == plain_stats.paths_completed
+    assert merged_stats.merges > 0
+
+
+def test_wc_stdin_golden():
+    module = get_program("wc-stdin").compile()
+    assert run_concrete(module, [b"wc"], stdin=b"a b\nc").output == b"1 3 5\n"
+    assert run_concrete(module, [b"wc"], stdin=b"").output == b"0 0 0\n"
+
+
+def test_tac_stdin_golden():
+    module = get_program("tac-stdin").compile()
+    result = run_concrete(module, [b"t"], stdin=b"abc")
+    assert result.output == b"cba\n"
+    assert result.exit_code == 3

@@ -1,0 +1,83 @@
+"""Experiment harness: modes, path-count fitting, reporting."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import MODES, RunSettings, cost_of, run_cell
+from repro.experiments.pathcount import PathFit, calibrate, collect_points, fit_points
+from repro.experiments.report import ascii_series, render_table, save_json
+
+
+def test_modes_cover_paper_configurations():
+    assert {"plain", "ssm-qce", "dsm-qce", "ssm-all"} <= set(MODES)
+    for mode in MODES.values():
+        assert set(mode) == {"merging", "similarity", "strategy"}
+
+
+def test_run_cell_plain():
+    result = run_cell(RunSettings(program="echo", mode="plain", max_steps=2000))
+    assert result.paths > 0
+    assert cost_of(result) >= 0
+
+
+def test_run_cell_respects_size_override():
+    small = run_cell(RunSettings(program="echo", mode="plain", n_args=1, arg_len=1))
+    big = run_cell(RunSettings(program="echo", mode="plain", n_args=2, arg_len=2))
+    assert big.paths > small.paths
+
+
+def test_run_cell_alpha_override():
+    merged = run_cell(RunSettings(program="echo", mode="ssm-qce", alpha=math.inf))
+    assert merged.stats.merges > 0
+
+
+def test_fit_points_perfect_line():
+    points = [(m, 2 * m) for m in (1, 2, 4, 8, 16)]
+    fit = fit_points(points)
+    assert math.isclose(fit.c2, 1.0, abs_tol=1e-9)
+    assert math.isclose(fit.r_squared, 1.0, abs_tol=1e-9)
+    assert math.isclose(fit.estimate(32), 64.0, rel_tol=1e-6)
+
+
+def test_fit_points_degenerate():
+    assert fit_points([]).c2 == 1.0
+    assert fit_points([(5, 10)]).c2 == 1.0
+    fit = fit_points([(3, 7), (3, 7)])
+    assert fit.estimate(3) > 0
+
+
+def test_collect_points_monotone():
+    points = collect_points("echo", mode="ssm-qce", max_steps=500)
+    assert points
+    ms = [m for m, _ in points]
+    ps = [p for _, p in points]
+    assert ms == sorted(ms) and ps == sorted(ps)
+    # multiplicity over-estimates paths (paper §5.2)
+    assert all(m >= p for m, p in points)
+
+
+def test_calibrate_end_to_end():
+    fit = calibrate("echo", max_steps=500)
+    assert isinstance(fit, PathFit)
+    assert fit.c2 >= 0
+
+
+def test_render_table_alignment():
+    table = render_table(["a", "bb"], [[1, 2.5], [10, 0.001]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_ascii_series():
+    art = ascii_series([(1, 1), (2, 4), (3, 9)])
+    assert "*" in art
+    assert ascii_series([]) == "(no data)"
+
+
+def test_save_json(tmp_path):
+    path = tmp_path / "out.json"
+    save_json(path, {"rows": [1, 2, 3]})
+    assert path.read_text().startswith("{")

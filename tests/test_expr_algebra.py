@@ -1,0 +1,150 @@
+"""Algebraic laws of the expression language, checked semantically.
+
+Hypothesis generates concrete valuations; each law is verified by
+evaluating both sides, so these tests pin the *semantics* (independent of
+whatever structural simplification the smart constructors perform).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import ops
+from repro.expr.evaluate import evaluate
+
+X = ops.bv_var("alx", 8)
+Y = ops.bv_var("aly", 8)
+Z = ops.bv_var("alz", 8)
+
+byte = st.integers(0, 255)
+
+
+def env(x, y, z=0):
+    return {"alx": x, "aly": y, "alz": z}
+
+
+def equal_semantics(e1, e2, x, y, z=0):
+    return evaluate(e1, env(x, y, z)) == evaluate(e2, env(x, y, z))
+
+
+@given(byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_add_commutative_and_xor_cancel(x, y):
+    assert equal_semantics(ops.add(X, Y), ops.add(Y, X), x, y)
+    assert evaluate(ops.bvxor(ops.bvxor(X, Y), Y), env(x, y)) == x
+
+
+@given(byte, byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_add_associative(x, y, z):
+    lhs = ops.add(ops.add(X, Y), Z)
+    rhs = ops.add(X, ops.add(Y, Z))
+    assert equal_semantics(lhs, rhs, x, y, z)
+
+
+@given(byte, byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_mul_distributes_over_add(x, y, z):
+    lhs = ops.mul(X, ops.add(Y, Z))
+    rhs = ops.add(ops.mul(X, Y), ops.mul(X, Z))
+    assert equal_semantics(lhs, rhs, x, y, z)
+
+
+@given(byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_sub_is_add_of_negation(x, y):
+    assert equal_semantics(ops.sub(X, Y), ops.add(X, ops.neg(Y)), x, y)
+
+
+@given(byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_de_morgan(x, y):
+    a = ops.ult(X, ops.bv(128, 8))
+    b = ops.ult(Y, ops.bv(64, 8))
+    lhs = ops.not_(ops.and_(a, b))
+    rhs = ops.or_(ops.not_(a), ops.not_(b))
+    assert equal_semantics(lhs, rhs, x, y)
+    lhs = ops.not_(ops.or_(a, b))
+    rhs = ops.and_(ops.not_(a), ops.not_(b))
+    assert equal_semantics(lhs, rhs, x, y)
+
+
+@given(byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_comparison_trichotomy(x, y):
+    lt = evaluate(ops.ult(X, Y), env(x, y))
+    eq = evaluate(ops.eq(X, Y), env(x, y))
+    gt = evaluate(ops.ugt(X, Y), env(x, y))
+    assert lt + eq + gt == 1
+
+
+@given(byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_signed_unsigned_agree_on_small_values(x, y):
+    xs, ys = x % 128, y % 128  # both non-negative as signed
+    m = {"alx": xs, "aly": ys}
+    assert evaluate(ops.slt(X, Y), m) == evaluate(ops.ult(X, Y), m)
+
+
+@given(byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_divmod_identity(x, y):
+    if y == 0:
+        return
+    q = evaluate(ops.udiv(X, Y), env(x, y))
+    r = evaluate(ops.urem(X, Y), env(x, y))
+    assert q * y + r == x
+    assert r < y
+
+
+@given(byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_sdiv_rounds_toward_zero(x, y):
+    from repro.expr.sorts import to_signed, to_unsigned
+
+    sx, sy = to_signed(x, 8), to_signed(y, 8)
+    if sy == 0:
+        return
+    q = to_signed(evaluate(ops.sdiv(X, Y), env(x, y)), 8)
+    r = to_signed(evaluate(ops.srem(X, Y), env(x, y)), 8)
+    if abs(sx) < (1 << 7):  # avoid the INT_MIN/-1 overflow corner
+        assert q == int(sx / sy) or (sx == -128 and sy == -1)
+        if not (sx == -128 and sy == -1):
+            assert q * sy + r == sx
+
+
+@given(byte, byte)
+@settings(max_examples=120, deadline=None)
+def test_ite_case_split(x, y):
+    c = ops.ult(X, Y)
+    e = ops.ite(c, ops.add(X, ops.bv(1, 8)), Y)
+    m = env(x, y)
+    expected = (x + 1) % 256 if x < y else y
+    assert evaluate(e, m) == expected
+
+
+@given(byte)
+@settings(max_examples=120, deadline=None)
+def test_shift_equivalences(x):
+    m = {"alx": x, "aly": 0}
+    assert evaluate(ops.shl(X, ops.bv(1, 8)), m) == evaluate(
+        ops.mul(X, ops.bv(2, 8)), m
+    )
+    assert evaluate(ops.lshr(X, ops.bv(1, 8)), m) == evaluate(
+        ops.udiv(X, ops.bv(2, 8)), m
+    )
+
+
+@given(byte, byte)
+@settings(max_examples=80, deadline=None)
+def test_zext_preserves_unsigned_order(x, y):
+    wide_lt = ops.ult(ops.zext(X, 32), ops.zext(Y, 32))
+    narrow_lt = ops.ult(X, Y)
+    assert equal_semantics(wide_lt, narrow_lt, x, y)
+
+
+@given(byte, byte)
+@settings(max_examples=80, deadline=None)
+def test_sext_preserves_signed_order(x, y):
+    wide_lt = ops.slt(ops.sext(X, 32), ops.sext(Y, 32))
+    narrow_lt = ops.slt(X, Y)
+    assert equal_semantics(wide_lt, narrow_lt, x, y)

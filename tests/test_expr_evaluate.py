@@ -1,0 +1,79 @@
+"""Concrete evaluation, incl. hypothesis agreement with constant folding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import ops
+from repro.expr.evaluate import EvalError, evaluate
+from repro.expr.sorts import to_signed, to_unsigned
+
+X = ops.bv_var("evx", 8)
+Y = ops.bv_var("evy", 8)
+
+BINOPS = [
+    ops.add, ops.sub, ops.mul, ops.udiv, ops.urem, ops.sdiv, ops.srem,
+    ops.bvand, ops.bvor, ops.bvxor, ops.shl, ops.lshr, ops.ashr,
+]
+CMPS = [ops.eq, ops.ult, ops.ule, ops.slt, ops.sle]
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(EvalError):
+        evaluate(X, {})
+
+
+def test_evaluate_variable_normalizes_width():
+    assert evaluate(X, {"evx": -1}) == 255
+    assert evaluate(X, {"evx": 300}) == 44
+
+
+def test_evaluate_ite_lazy_on_branches():
+    c = ops.ult(X, ops.bv(5, 8))
+    e = ops.ite(c, ops.bv(1, 8), ops.bv(2, 8))
+    assert evaluate(e, {"evx": 3}) == 1
+    assert evaluate(e, {"evx": 9}) == 2
+
+
+def test_evaluate_extract_concat_extensions():
+    e = ops.concat(ops.extract(X, 7, 4), ops.extract(X, 3, 0))
+    assert evaluate(e, {"evx": 0xC5}) == 0xC5
+    assert evaluate(ops.zext(X, 16), {"evx": 0xFF}) == 0xFF
+    assert evaluate(ops.sext(X, 16), {"evx": 0xFF}) == 0xFFFF
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.sampled_from(BINOPS))
+@settings(max_examples=300, deadline=None)
+def test_folding_matches_evaluation_binops(a, b, op):
+    """Constant folding in the smart constructors == concrete evaluation."""
+    folded = op(ops.bv(a, 8), ops.bv(b, 8))
+    assert folded.is_const()
+    symbolic = op(X, Y)
+    assert evaluate(symbolic, {"evx": a, "evy": b}) == folded.value
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.sampled_from(CMPS))
+@settings(max_examples=200, deadline=None)
+def test_folding_matches_evaluation_comparisons(a, b, op):
+    folded = op(ops.bv(a, 8), ops.bv(b, 8))
+    assert folded.is_const()
+    symbolic = op(X, Y)
+    assert evaluate(symbolic, {"evx": a, "evy": b}) == folded.value
+
+
+@given(st.integers(0, 255), st.integers(0, 15))
+@settings(max_examples=100, deadline=None)
+def test_shift_semantics(a, s):
+    expected_shl = to_unsigned(a << s, 8) if s < 8 else 0
+    assert evaluate(ops.shl(X, Y), {"evx": a, "evy": s}) == expected_shl
+    expected_lshr = (a >> s) if s < 8 else 0
+    assert evaluate(ops.lshr(X, Y), {"evx": a, "evy": s}) == expected_lshr
+    expected_ashr = to_unsigned(to_signed(a, 8) >> min(s, 7), 8)
+    assert evaluate(ops.ashr(X, Y), {"evx": a, "evy": s}) == expected_ashr
+
+
+def test_bool_ops_evaluate():
+    c = ops.and_(ops.ult(X, ops.bv(5, 8)), ops.ult(ops.bv(1, 8), X))
+    assert evaluate(c, {"evx": 3}) == 1
+    assert evaluate(c, {"evx": 7}) == 0
+    assert evaluate(ops.not_(c), {"evx": 7}) == 1

@@ -1,0 +1,67 @@
+"""Expression nodes: interning, identity equality, cached attributes."""
+
+from repro.expr import ops
+from repro.expr.nodes import Expr, interned_count
+
+
+def test_interning_gives_identity():
+    a = ops.add(ops.bv_var("v", 8), ops.bv(1, 8))
+    b = ops.add(ops.bv_var("v", 8), ops.bv(1, 8))
+    assert a is b
+    assert hash(a) == hash(b)
+
+
+def test_distinct_exprs_differ():
+    a = ops.add(ops.bv_var("v", 8), ops.bv(1, 8))
+    b = ops.add(ops.bv_var("v", 8), ops.bv(2, 8))
+    assert a is not b and a != b
+
+
+def test_variables_cached_and_correct():
+    x, y = ops.bv_var("x", 8), ops.bv_var("y", 8)
+    e = ops.mul(ops.add(x, y), ops.sub(x, ops.bv(3, 8)))
+    assert e.variables == frozenset({"x", "y"})
+    assert ops.bv(7, 8).variables == frozenset()
+
+
+def test_is_symbolic():
+    x = ops.bv_var("x", 8)
+    assert x.is_symbolic()
+    assert not ops.bv(4, 8).is_symbolic()
+    assert ops.add(x, ops.bv(1, 8)).is_symbolic()
+
+
+def test_depth_and_node_count():
+    x = ops.bv_var("x", 8)
+    e = ops.add(ops.add(x, ops.bv(1, 8)), x)
+    assert e.depth >= 2
+    assert e.node_count() >= 3
+
+
+def test_ite_count():
+    x = ops.bv_var("x", 8)
+    c = ops.ult(x, ops.bv(4, 8))
+    e = ops.ite(c, ops.add(x, ops.bv(1, 8)), x)
+    assert e.ite_count() == 1
+    assert x.ite_count() == 0
+
+
+def test_direct_construction_forbidden():
+    import pytest
+
+    with pytest.raises(TypeError):
+        Expr()
+
+
+def test_interned_count_grows():
+    before = interned_count()
+    ops.bv_var("fresh_name_for_count_test", 8)
+    assert interned_count() > before
+
+
+def test_width_accessor():
+    import pytest
+
+    assert ops.bv_var("w", 16).width == 16
+    with pytest.raises(TypeError):
+        ops.TRUE.width

@@ -1,0 +1,211 @@
+"""Smart constructors: constant folding and local simplification rules."""
+
+import pytest
+
+from repro.expr import ops
+from repro.expr.nodes import ADD, EQ, ITE, NOT, ULE, ULT
+
+X = ops.bv_var("opx", 8)
+Y = ops.bv_var("opy", 8)
+
+
+class TestArithmeticFolding:
+    def test_add_constants_fold_mod_width(self):
+        assert ops.add(ops.bv(200, 8), ops.bv(100, 8)) is ops.bv(44, 8)
+
+    def test_add_zero_identity(self):
+        assert ops.add(X, ops.bv(0, 8)) is X
+        assert ops.add(ops.bv(0, 8), X) is X
+
+    def test_add_reassociates_constants(self):
+        e = ops.add(ops.add(X, ops.bv(3, 8)), ops.bv(5, 8))
+        assert e is ops.add(X, ops.bv(8, 8))
+
+    def test_sub_self_is_zero(self):
+        assert ops.sub(X, X) is ops.bv(0, 8)
+
+    def test_sub_constant_becomes_add(self):
+        assert ops.sub(X, ops.bv(1, 8)) is ops.add(X, ops.bv(255, 8))
+
+    def test_mul_identities(self):
+        assert ops.mul(X, ops.bv(1, 8)) is X
+        assert ops.mul(X, ops.bv(0, 8)) is ops.bv(0, 8)
+
+    def test_neg_involution(self):
+        assert ops.neg(ops.neg(X)) is X
+
+    def test_udiv_by_zero_smtlib(self):
+        assert ops.udiv(ops.bv(7, 8), ops.bv(0, 8)) is ops.bv(255, 8)
+
+    def test_urem_by_zero_smtlib(self):
+        assert ops.urem(X, ops.bv(0, 8)) is X
+
+    def test_sdiv_signed_semantics(self):
+        assert ops.sdiv(ops.bv(-7, 8), ops.bv(2, 8)) is ops.bv(-3, 8)
+        assert ops.srem(ops.bv(-7, 8), ops.bv(2, 8)) is ops.bv(-1, 8)
+
+    def test_commutative_canonical_order(self):
+        assert ops.add(X, Y) is ops.add(Y, X)
+        assert ops.mul(X, Y) is ops.mul(Y, X)
+        assert ops.bvand(X, Y) is ops.bvand(Y, X)
+
+
+class TestBitwise:
+    def test_and_annihilator_and_identity(self):
+        assert ops.bvand(X, ops.bv(0, 8)) is ops.bv(0, 8)
+        assert ops.bvand(X, ops.bv(255, 8)) is X
+        assert ops.bvand(X, X) is X
+
+    def test_or_identity(self):
+        assert ops.bvor(X, ops.bv(0, 8)) is X
+        assert ops.bvor(X, X) is X
+
+    def test_xor_self_zero(self):
+        assert ops.bvxor(X, X) is ops.bv(0, 8)
+
+    def test_bvnot_involution(self):
+        assert ops.bvnot(ops.bvnot(X)) is X
+
+    def test_shift_folding(self):
+        assert ops.shl(ops.bv(1, 8), ops.bv(3, 8)) is ops.bv(8, 8)
+        assert ops.lshr(ops.bv(128, 8), ops.bv(7, 8)) is ops.bv(1, 8)
+        assert ops.shl(X, ops.bv(8, 8)) is ops.bv(0, 8)  # overshift
+        assert ops.shl(X, ops.bv(0, 8)) is X
+
+    def test_ashr_sign_fill(self):
+        assert ops.ashr(ops.bv(0x80, 8), ops.bv(7, 8)) is ops.bv(0xFF, 8)
+
+
+class TestWidthAdjust:
+    def test_zext_and_sext_fold(self):
+        assert ops.zext(ops.bv(200, 8), 16) is ops.bv(200, 16)
+        assert ops.sext(ops.bv(200, 8), 16) is ops.bv(0xFFC8, 16)
+
+    def test_zext_same_width_noop(self):
+        assert ops.zext(X, 8) is X
+
+    def test_zext_narrower_rejected(self):
+        with pytest.raises(ValueError):
+            ops.zext(ops.bv_var("z", 16), 8)
+
+    def test_extract_full_range_noop(self):
+        assert ops.extract(X, 7, 0) is X
+
+    def test_extract_of_constant(self):
+        assert ops.extract(ops.bv(0xAB, 8), 7, 4) is ops.bv(0xA, 4)
+
+    def test_extract_through_concat(self):
+        lo, hi = ops.bv_var("lo4", 4), ops.bv_var("hi4", 4)
+        cc = ops.concat(hi, lo)
+        assert ops.extract(cc, 3, 0) is lo
+        assert ops.extract(cc, 7, 4) is hi
+
+    def test_concat_of_constants(self):
+        assert ops.concat(ops.bv(0xA, 4), ops.bv(0xB, 4)) is ops.bv(0xAB, 8)
+
+
+class TestComparisons:
+    def test_eq_reflexive(self):
+        assert ops.eq(X, X).is_true()
+
+    def test_ult_bounds(self):
+        assert ops.ult(X, ops.bv(0, 8)).is_false()
+        assert ops.ule(ops.bv(0, 8), X).is_true()
+        assert ops.ule(X, ops.bv(255, 8)).is_true()
+
+    def test_cmp_through_ite_of_constants(self):
+        # The paper's §3.1 pattern: ite(C, 2, 1) < N+1 should fold away
+        # entirely when both arms and the bound are concrete.
+        c = ops.ult(X, ops.bv(9, 8))
+        e = ops.ite(c, ops.bv(2, 8), ops.bv(1, 8))
+        assert ops.ult(e, ops.bv(3, 8)).is_true()
+        assert ops.ult(e, ops.bv(2, 8)) is ops.not_(c)
+        assert ops.eq(e, ops.bv(2, 8)) is c
+
+    def test_signed_comparisons_fold(self):
+        assert ops.slt(ops.bv(-1, 8), ops.bv(0, 8)).is_true()
+        assert ops.sle(ops.bv(127, 8), ops.bv(-128, 8)).is_false()
+
+    def test_derived_comparisons(self):
+        assert ops.ugt(ops.bv(3, 8), ops.bv(2, 8)).is_true()
+        assert ops.uge(X, X).is_true()
+        assert ops.sge(X, X).is_true()
+        assert ops.sgt(ops.bv(1, 8), ops.bv(-1, 8)).is_true()
+
+
+class TestBoolean:
+    def test_not_involution_and_folding(self):
+        c = ops.ult(X, Y)
+        assert ops.not_(ops.not_(c)) is c
+        assert ops.not_(ops.TRUE).is_false()
+
+    def test_not_flips_comparisons(self):
+        assert ops.not_(ops.ult(X, Y)) is ops.ule(Y, X)
+        assert ops.not_(ops.sle(X, Y)) is ops.slt(Y, X)
+
+    def test_and_or_lattice(self):
+        c = ops.ult(X, Y)
+        assert ops.and_(c, ops.TRUE) is c
+        assert ops.and_(c, ops.FALSE).is_false()
+        assert ops.or_(c, ops.FALSE) is c
+        assert ops.or_(c, ops.TRUE).is_true()
+        assert ops.and_(c, c) is c
+        assert ops.and_(c, ops.not_(c)).is_false()
+        assert ops.or_(c, ops.not_(c)).is_true()
+
+    def test_xor_iff_implies(self):
+        c, d = ops.ult(X, Y), ops.ult(Y, X)
+        assert ops.xor(c, c).is_false()
+        assert ops.iff(c, c).is_true()
+        assert ops.implies(ops.FALSE, c).is_true()
+        assert ops.implies(ops.TRUE, c) is c
+        assert ops.xor(c, ops.FALSE) is c
+        assert ops.xor(c, ops.TRUE) is ops.not_(c)
+        assert ops.xor(d, c) is ops.xor(c, d)
+
+    def test_and_all_or_all(self):
+        cs = [ops.ult(X, ops.bv(k, 8)) for k in (10, 20)]
+        assert ops.and_all([]).is_true()
+        assert ops.or_all([]).is_false()
+        assert ops.and_all(cs).kind == "and"
+
+
+class TestIte:
+    def test_ite_constant_condition(self):
+        assert ops.ite(ops.TRUE, X, Y) is X
+        assert ops.ite(ops.FALSE, X, Y) is Y
+
+    def test_ite_same_branches(self):
+        c = ops.ult(X, Y)
+        assert ops.ite(c, X, X) is X
+
+    def test_ite_negated_condition_swaps(self):
+        c = ops.ult(X, Y)
+        assert ops.ite(ops.not_(c), X, Y) is ops.ite(c, Y, X)
+
+    def test_bool_ite_reduces_to_connectives(self):
+        c, d = ops.ult(X, Y), ops.ult(Y, ops.bv(5, 8))
+        assert ops.ite(c, ops.TRUE, ops.FALSE) is c
+        assert ops.ite(c, ops.FALSE, ops.TRUE) is ops.not_(c)
+        assert ops.ite(c, d, ops.FALSE) is ops.and_(c, d)
+        assert ops.ite(c, ops.TRUE, d) is ops.or_(c, d)
+
+    def test_nested_same_condition_collapses(self):
+        c = ops.ult(X, Y)
+        inner = ops.ite(c, ops.bv(1, 8), ops.bv(2, 8))
+        outer = ops.ite(c, inner, ops.bv(3, 8))
+        # then-branch of outer collapses to inner's then-branch
+        assert outer is ops.ite(c, ops.bv(1, 8), ops.bv(3, 8))
+
+    def test_ite_type_errors(self):
+        with pytest.raises(TypeError):
+            ops.ite(X, X, Y)  # non-bool condition
+        with pytest.raises(TypeError):
+            ops.ite(ops.TRUE, X, ops.bv_var("w16", 16))
+
+
+def test_width_mismatch_raises():
+    with pytest.raises(TypeError):
+        ops.add(X, ops.bv_var("w16b", 16))
+    with pytest.raises(TypeError):
+        ops.ult(X, ops.bv(3, 16))

@@ -1,0 +1,50 @@
+"""Sorts: interning, widths, signedness helpers."""
+
+import pytest
+
+from repro.expr.sorts import BOOL, BVSort, BoolSort, to_signed, to_unsigned
+
+
+def test_bool_sort_is_singleton():
+    assert BoolSort() is BOOL
+    assert BOOL.is_bool() and not BOOL.is_bv()
+
+
+def test_bv_sorts_are_interned_by_width():
+    assert BVSort(8) is BVSort(8)
+    assert BVSort(8) is not BVSort(16)
+    assert BVSort(16).is_bv()
+
+
+def test_bv_sort_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        BVSort(0)
+    with pytest.raises(ValueError):
+        BVSort(-3)
+
+
+def test_mask_and_sign_bit():
+    assert BVSort(8).mask == 0xFF
+    assert BVSort(8).sign_bit == 0x80
+    assert BVSort(1).mask == 1
+
+
+@pytest.mark.parametrize(
+    "value,width,expected",
+    [(0, 8, 0), (127, 8, 127), (128, 8, -128), (255, 8, -1), (0x80000000, 32, -(1 << 31))],
+)
+def test_to_signed(value, width, expected):
+    assert to_signed(value, width) == expected
+
+
+@pytest.mark.parametrize(
+    "value,width,expected",
+    [(-1, 8, 255), (256, 8, 0), (-128, 8, 128), (300, 8, 44)],
+)
+def test_to_unsigned(value, width, expected):
+    assert to_unsigned(value, width) == expected
+
+
+def test_signed_unsigned_roundtrip():
+    for v in range(256):
+        assert to_unsigned(to_signed(v, 8), 8) == v

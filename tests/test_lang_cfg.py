@@ -1,0 +1,100 @@
+"""CFG structural utilities: RPO, dominators, natural loops, use/def."""
+
+from repro.lang import compile_program
+from repro.lang.cfg import TBr, instr_def, instr_uses
+
+MAIN = "int main(int argc, char argv[][]) { %s }"
+
+
+def fn_of(body):
+    return compile_program(MAIN % body, include_stdlib=False).function("main")
+
+
+def test_rpo_starts_at_entry_no_duplicates():
+    fn = fn_of("if (argc) putchar('a'); else putchar('b'); return 0;")
+    rpo = fn.reverse_postorder()
+    assert rpo[0] == fn.entry
+    assert len(rpo) == len(set(rpo))
+
+
+def test_rpo_places_join_after_branches():
+    fn = fn_of("if (argc) putchar('a'); putchar('c'); return 0;")
+    rpo = fn.rpo_index()
+    branch = fn.blocks[fn.entry].term
+    assert isinstance(branch, TBr)
+    join_candidates = [label for label, block in fn.blocks.items()
+                       if len(fn.predecessors()[label]) >= 2]
+    for join in join_candidates:
+        assert rpo[join] > rpo[fn.entry]
+
+
+def test_dominators_diamond():
+    fn = fn_of("int x; if (argc) x = 1; else x = 2; return x;")
+    idom = fn.immediate_dominators()
+    preds = fn.predecessors()
+    join = next(label for label in fn.blocks if len(preds[label]) == 2)
+    assert idom[join] == fn.entry
+    assert fn.dominates(fn.entry, join)
+    assert not fn.dominates(join, fn.entry)
+
+
+def test_entry_has_no_idom():
+    fn = fn_of("return 0;")
+    assert fn.immediate_dominators()[fn.entry] is None
+
+
+def test_natural_loop_single():
+    fn = fn_of("int i = 0; while (i < argc) i++; return i;")
+    loops = fn.natural_loops()
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.header in loop.body
+    assert loop.back_edges
+    # the back edge source is in the body and the header dominates it
+    for tail in loop.back_edges:
+        assert tail in loop.body
+        assert fn.dominates(loop.header, tail)
+
+
+def test_nested_loops_detected():
+    fn = fn_of(
+        "int n = 0;"
+        " for (int a = 0; a < argc; a++)"
+        "   for (int b = 0; b < argc; b++) n++;"
+        " return n;"
+    )
+    loops = fn.natural_loops()
+    assert len(loops) == 2
+    inner = min(loops, key=lambda l: len(l.body))
+    outer = max(loops, key=lambda l: len(l.body))
+    assert inner.body < outer.body  # proper nesting
+
+
+def test_loop_with_continue_single_header():
+    fn = fn_of(
+        "int n = 0;"
+        " for (int i = 0; i < argc; i++) { if (i == 2) continue; n++; }"
+        " return n;"
+    )
+    loops = fn.natural_loops()
+    assert len(loops) == 1
+    assert len(loops[0].back_edges) >= 1
+
+
+def test_instr_uses_and_def():
+    fn = fn_of("char s[3]; int x = argc; s[x] = 1; int y = s[0]; return y;")
+    for block in fn.blocks.values():
+        for instr in block.instrs:
+            uses = instr_uses(instr)
+            assert isinstance(uses, frozenset)
+            d = instr_def(instr)
+            assert d is None or isinstance(d, str)
+
+
+def test_successors_shapes():
+    fn = fn_of("if (argc) return 1; return 0;")
+    entry = fn.blocks[fn.entry]
+    assert len(entry.successors()) == 2
+    for label, block in fn.blocks.items():
+        if block.term.__class__.__name__ in ("TRet", "THalt"):
+            assert block.successors() == ()

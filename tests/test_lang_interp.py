@@ -1,0 +1,153 @@
+"""Concrete interpreter tests: semantics, errors, argv model."""
+
+import pytest
+
+from repro.lang import compile_program
+from repro.lang.interp import AssertionFailure, InterpError, Interpreter, OutOfBounds, run_concrete
+
+MAIN = "int main(int argc, char argv[][]) { %s }"
+
+
+def run(body, argv=(b"prog",), **kwargs):
+    module = compile_program(MAIN % body)
+    return run_concrete(module, list(argv), **kwargs)
+
+
+def test_exit_code_from_return():
+    assert run("return 42;").exit_code == 42
+
+
+def test_exit_code_from_halt():
+    assert run("halt(7); return 0;").exit_code == 7
+
+
+def test_putchar_output():
+    assert run("putchar('h'); putchar('i');").output == b"hi"
+
+
+def test_argc_argv():
+    res = run("return argc;", argv=[b"p", b"a", b"b"])
+    assert res.exit_code == 3
+    res = run("putchar(argv[1][0]);", argv=[b"p", b"xyz"])
+    assert res.output == b"x"
+
+
+def test_arithmetic_wraps_like_c():
+    assert run("int x; x = 2147483647; x = x + 1; if (x < 0) return 1; return 0;").exit_code == 1
+
+
+def test_char_unsigned_comparison():
+    # char 200 compares > 100 because chars are unsigned bytes
+    assert run("char c; c = 200; if (c > 100) return 1; return 0;").exit_code == 1
+
+
+def test_division_semantics():
+    assert run("int a; a = -7; return a / 2;", ).exit_code & 0xFFFFFFFF == 0xFFFFFFFD  # -3
+    assert run("int a; a = 7; return a % 3;").exit_code == 1
+
+
+def test_loops_and_break_continue():
+    body = """
+    int total = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 6) break;
+        total = total + i;
+    }
+    return total;  // 0+1+2+4+5 = 12
+    """
+    assert run(body).exit_code == 12
+
+
+def test_do_while_executes_once():
+    assert run("int i = 9; int n = 0; do { n++; } while (i < 0); return n;").exit_code == 1
+
+
+def test_nested_function_calls():
+    src = """
+    int square(int n) { return n * n; }
+    int quad(int n) { return square(square(n)); }
+    int main(int argc, char argv[][]) { return quad(2); }
+    """
+    module = compile_program(src)
+    assert run_concrete(module, [b"p"]).exit_code == 16
+
+
+def test_array_passed_by_reference():
+    src = """
+    void fill(char buf[], int n) {
+        for (int i = 0; i < n; i++) buf[i] = 'a' + i;
+    }
+    int main(int argc, char argv[][]) {
+        char buf[4];
+        fill(buf, 3);
+        putchar(buf[0]); putchar(buf[1]); putchar(buf[2]);
+        return 0;
+    }
+    """
+    module = compile_program(src)
+    assert run_concrete(module, [b"p"]).output == b"abc"
+
+
+def test_argv_row_passed_by_reference():
+    src = """
+    int first(char s[]) { return s[0]; }
+    int main(int argc, char argv[][]) { return first(argv[1]); }
+    """
+    module = compile_program(src)
+    assert run_concrete(module, [b"p", b"Q"]).exit_code == ord("Q")
+
+
+def test_global_state():
+    src = """
+    int counter = 5;
+    void bump() { counter = counter + 2; }
+    int main(int argc, char argv[][]) { bump(); bump(); return counter; }
+    """
+    module = compile_program(src)
+    assert run_concrete(module, [b"p"]).exit_code == 9
+
+
+def test_global_array_init():
+    src = """
+    char msg[4] = "ab";
+    int main(int argc, char argv[][]) { putchar(msg[0]); putchar(msg[1]); return msg[2]; }
+    """
+    module = compile_program(src)
+    res = run_concrete(module, [b"p"])
+    assert res.output == b"ab" and res.exit_code == 0
+
+
+def test_assertion_failure_raises():
+    with pytest.raises(AssertionFailure):
+        run("int x = 1; assert(x == 2); return 0;")
+
+
+def test_out_of_bounds_read_raises():
+    with pytest.raises(OutOfBounds):
+        run("char s[2]; return s[5];")
+
+
+def test_out_of_bounds_write_raises():
+    with pytest.raises(OutOfBounds):
+        run("char s[2]; s[9] = 1; return 0;")
+
+
+def test_argv_row_out_of_bounds():
+    with pytest.raises(OutOfBounds):
+        run("return argv[9][0];", argv=[b"p"])
+
+
+def test_step_limit():
+    module = compile_program(MAIN % "while (1) { } return 0;")
+    with pytest.raises(InterpError):
+        Interpreter(module, max_steps=1000).run_main([b"p"])
+
+
+def test_coverage_recorded():
+    res = run("if (argc > 1) putchar('y'); return 0;", argv=[b"p", b"a"])
+    assert any(label for fn, label in res.coverage if fn == "main")
+
+
+def test_string_initializer_local():
+    assert run('char s[6] = "hey"; putchar(s[0]); putchar(s[3] + 48); return 0;').output == b"h0"

@@ -1,0 +1,64 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+def test_keywords_vs_identifiers():
+    toks = tokenize("int intx if iffy")
+    assert [t.kind for t in toks[:-1]] == ["kw", "ident", "kw", "ident"]
+
+
+def test_integer_literals():
+    toks = tokenize("0 42 0xFF 0x10")
+    assert [t.value for t in toks[:-1]] == [0, 42, 255, 16]
+
+
+def test_char_literals_and_escapes():
+    toks = tokenize(r"'a' '\n' '\t' '\\' '\0'")
+    assert [t.value for t in toks[:-1]] == [97, 10, 9, 92, 0]
+
+
+def test_string_literals():
+    toks = tokenize(r'"hi" "a\nb" ""')
+    assert [t.value for t in toks[:-1]] == [b"hi", b"a\nb", b""]
+
+
+def test_multichar_punct_longest_match():
+    assert [t.text for t in tokenize("<<= << <= <")[:-1]] == ["<<=", "<<", "<=", "<"]
+    assert [t.text for t in tokenize("++ +=")[:-1]] == ["++", "+="]
+
+
+def test_comments_skipped():
+    toks = tokenize("a // line comment\nb /* block\ncomment */ c")
+    assert [t.text for t in toks[:-1]] == ["a", "b", "c"]
+
+
+def test_line_numbers_tracked():
+    toks = tokenize("a\nb\n  c")
+    assert [t.line for t in toks[:-1]] == [1, 2, 3]
+    assert toks[2].col == 3
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_bad_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_eof_token_terminates():
+    assert tokenize("")[-1].kind == "eof"

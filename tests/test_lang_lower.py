@@ -1,0 +1,194 @@
+"""Lowering tests: IR structure, conversions, short-circuit, errors."""
+
+import pytest
+
+from repro.expr import nodes as N
+from repro.lang import compile_program
+from repro.lang.cfg import IAssert, IAssign, ICall, ILoad, IPutc, IStore, TBr, THalt, TJmp, TRet
+from repro.lang.lower import LowerError
+from repro.lang.parser import parse
+from repro.lang.lower import lower_program
+
+
+def lower(src):
+    return lower_program(parse(src))
+
+
+MAIN = "int main(int argc, char argv[][]) { %s }"
+
+
+def main_fn(body):
+    return lower(MAIN % body).function("main")
+
+
+def all_instrs(fn):
+    for block in fn.blocks.values():
+        yield from block.instrs
+
+
+def test_scalar_decl_zero_initialized():
+    fn = main_fn("int x; return x;")
+    assigns = [i for i in all_instrs(fn) if isinstance(i, IAssign) and i.dst == "x"]
+    assert len(assigns) == 1 and assigns[0].expr.is_const() and assigns[0].expr.value == 0
+
+
+def test_char_assignment_truncates():
+    fn = main_fn("char c; c = 300; return c;")
+    assigns = [i for i in all_instrs(fn) if isinstance(i, IAssign) and i.dst == "c"]
+    final = assigns[-1].expr
+    assert final.is_const() and final.value == 44  # 300 mod 256
+    assert final.width == 8
+
+
+def test_char_promotes_via_zext():
+    fn = main_fn("char c; int x; x = c + 1; return x;")
+    assigns = [i for i in all_instrs(fn) if isinstance(i, IAssign) and i.dst == "x"]
+    expr = assigns[-1].expr
+    assert expr.width == 32
+    assert any(n.kind == N.ZEXT for n in expr.iter_nodes())
+
+
+def test_pure_logical_becomes_expression():
+    # scalar && scalar lowers to a single branch, not a CFG diamond
+    fn = main_fn("int a; int b; if (a < 1 && b < 2) return 1; return 0;")
+    branches = [b.term for b in fn.blocks.values() if isinstance(b.term, TBr)]
+    assert len(branches) == 1
+    assert any(n.kind == N.AND for n in branches[0].cond.iter_nodes())
+
+
+def test_impure_logical_short_circuits_via_cfg():
+    # an index read on the RHS must not be evaluated eagerly
+    fn = main_fn("char s[4]; int i; if (i < 4 && s[i]) return 1; return 0;")
+    branches = [b.term for b in fn.blocks.values() if isinstance(b.term, TBr)]
+    assert len(branches) == 2  # one per conjunct
+
+
+def test_load_store_instructions():
+    fn = main_fn("char s[4]; s[1] = 7; return s[1];")
+    stores = [i for i in all_instrs(fn) if isinstance(i, IStore)]
+    loads = [i for i in all_instrs(fn) if isinstance(i, ILoad)]
+    assert len(stores) == 1 and len(loads) == 1
+
+
+def test_2d_argv_access():
+    fn = main_fn("return argv[1][2];")
+    loads = [i for i in all_instrs(fn) if isinstance(i, ILoad)]
+    assert len(loads) == 1
+    assert loads[0].ref.array == "argv"
+    assert loads[0].ref.row is not None
+
+
+def test_string_literal_becomes_global():
+    module = lower(MAIN % 'return strcmp_dummy(argv[1], "-n");'
+                   + "\nint strcmp_dummy(char a[], char b[]) { return 0; }")
+    names = [n for n in module.globals if n.startswith("g$str")]
+    assert len(names) == 1
+    gtype, init = module.globals[names[0]]
+    assert init == b"-n\x00"
+
+
+def test_string_pool_dedupes():
+    src = (MAIN % 'f(argv[1], "x"); f(argv[1], "x"); return 0;'
+           + "\nvoid f(char a[], char b[]) { }")
+    module = lower(src)
+    assert len([n for n in module.globals if n.startswith("g$str")]) == 1
+
+
+def test_call_lowering_scalar_and_array():
+    module = lower("int f(int n, char s[]) { return n; }\n"
+                   + MAIN % "return f(3, argv[1]);")
+    calls = [i for i in all_instrs(module.function("main")) if isinstance(i, ICall)]
+    assert len(calls) == 1
+    assert calls[0].func == "f"
+
+
+def test_putchar_builtin():
+    fn = main_fn("putchar('a'); return 0;")
+    putcs = [i for i in all_instrs(fn) if isinstance(i, IPutc)]
+    assert len(putcs) == 1 and putcs[0].value.value == ord("a")
+
+
+def test_implicit_return_zero():
+    fn = main_fn("putchar('x');")
+    rets = [b.term for b in fn.blocks.values() if isinstance(b.term, TRet)]
+    assert rets and all(r.value.is_const() and r.value.value == 0 for r in rets)
+
+
+def test_halt_lowering():
+    fn = main_fn("halt(3);")
+    halts = [b.term for b in fn.blocks.values() if isinstance(b.term, THalt)]
+    assert len(halts) == 1 and halts[0].code.value == 3
+
+
+def test_break_continue_targets():
+    fn = main_fn("for (int i = 0; i < 9; i++) { if (i == 2) break; if (i == 1) continue; putchar('a'); } return 0;")
+    # must lower without error and contain a back edge
+    assert fn.natural_loops()
+
+
+def test_signed_vs_unsigned_division():
+    fn = main_fn("int a; uint b; int c; c = a / 2; b = b / 2; return c;")
+    kinds = {n.kind for i in all_instrs(fn) if isinstance(i, IAssign)
+             for n in i.expr.iter_nodes()}
+    assert N.SDIV in kinds and N.UDIV in kinds
+
+
+def test_redeclaration_same_type_ok():
+    fn = main_fn("for (int i = 0; i < 2; i++) putchar('a'); for (int i = 0; i < 2; i++) putchar('b'); return 0;")
+    assert fn is not None
+
+
+def test_redeclaration_conflicting_type_rejected():
+    with pytest.raises(LowerError):
+        main_fn("int x; char x; return 0;")
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(LowerError):
+        main_fn("return nope;")
+
+
+def test_undefined_function_rejected():
+    with pytest.raises(LowerError):
+        main_fn("return nosuch(1);")
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(LowerError):
+        lower("int f(int a) { return a; }\n" + MAIN % "return f(1, 2);")
+
+
+def test_void_in_value_context_rejected():
+    with pytest.raises(LowerError):
+        lower("void f(int a) { }\n" + MAIN % "return f(1);")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(LowerError):
+        main_fn("break;")
+
+
+def test_assert_lowering():
+    fn = main_fn("int x; assert(x == 0); return 0;")
+    asserts = [i for i in all_instrs(fn) if isinstance(i, IAssert)]
+    assert len(asserts) == 1
+
+
+def test_stdlib_compiles_with_program():
+    module = compile_program(MAIN % "return strlen(argv[1]);")
+    assert "strlen" in module.functions
+    assert "atoi" in module.functions
+
+
+def test_ternary_pure_lowers_to_ite():
+    fn = main_fn("int a; int b; return a < b ? 1 : 2;")
+    rets = [b.term for b in fn.blocks.values() if isinstance(b.term, TRet)]
+    assert any(r.value is not None and any(n.kind == N.ITE for n in r.value.iter_nodes())
+               for r in rets)
+
+
+def test_cfg_structure_reverse_postorder_covers_reachable():
+    fn = main_fn("int x; if (x) { x = 1; } else { x = 2; } return x;")
+    rpo = fn.reverse_postorder()
+    assert rpo[0] == fn.entry
+    assert len(set(rpo)) == len(rpo)

@@ -1,0 +1,93 @@
+"""MiniC stdlib functions vs. Python reference implementations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_program, run_concrete
+
+WRAPPER = """
+int main(int argc, char argv[][]) {
+    %s
+}
+"""
+
+
+def run_body(body, argv=(b"p",)):
+    module = compile_program(WRAPPER % body)
+    return run_concrete(module, list(argv))
+
+
+ascii_str = st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=126), max_size=6)
+
+
+@given(ascii_str)
+@settings(max_examples=50, deadline=None)
+def test_strlen_matches(s):
+    data = s.encode()
+    res = run_body("return strlen(argv[1]);", argv=[b"p", data])
+    assert res.exit_code == len(data)
+
+
+@given(ascii_str, ascii_str)
+@settings(max_examples=50, deadline=None)
+def test_strcmp_sign_matches(a, b):
+    da, db = a.encode(), b.encode()
+    res = run_body("int r = strcmp(argv[1], argv[2]); if (r < 0) return 1; if (r > 0) return 2; return 0;",
+                   argv=[b"p", da, db])
+    expected = 0 if da == db else (1 if da < db else 2)
+    assert res.exit_code == expected
+
+
+@given(st.integers(-99999, 99999))
+@settings(max_examples=50, deadline=None)
+def test_atoi_matches(n):
+    res = run_body("int v = atoi(argv[1]); print_int(v); return 0;", argv=[b"p", str(n).encode()])
+    assert res.output == str(n).encode()
+
+
+@given(st.integers(-2147483647, 2147483647))
+@settings(max_examples=50, deadline=None)
+def test_print_int_roundtrip(n):
+    res = run_body(f"print_int({n}); return 0;")
+    assert res.output == str(n).encode()
+
+
+def test_strncmp():
+    res = run_body('return strncmp(argv[1], argv[2], 2);', argv=[b"p", b"abc", b"abd"])
+    assert res.exit_code == 0
+    res = run_body('return strncmp(argv[1], argv[2], 3) != 0;', argv=[b"p", b"abc", b"abd"])
+    assert res.exit_code == 1
+
+
+def test_streq_and_strcpy0():
+    body = 'char buf[8]; strcpy0(buf, argv[1]); return streq(buf, argv[1]);'
+    assert run_body(body, argv=[b"p", b"hello"]).exit_code == 1
+
+
+@given(st.integers(0, 255))
+@settings(max_examples=30, deadline=None)
+def test_char_classifiers(c):
+    body = f"return isdigit({c}) * 8 + isalpha({c}) * 4 + isspace({c}) * 2 + isupper({c});"
+    expected = (
+        (8 if chr(c).isdigit() and c < 128 else 0)
+        + (4 if (97 <= c <= 122 or 65 <= c <= 90) else 0)
+        + (2 if c in (32, 9, 10, 13) else 0)
+        + (1 if 65 <= c <= 90 else 0)
+    )
+    assert run_body(body).exit_code == expected
+
+
+def test_case_conversion():
+    assert run_body("return toupper('a');").exit_code == ord("A")
+    assert run_body("return tolower('Z');").exit_code == ord("z")
+    assert run_body("return toupper('5');").exit_code == ord("5")
+
+
+def test_min_max_abs():
+    assert run_body("return min(3, 5);").exit_code == 3
+    assert run_body("return max(3, 5);").exit_code == 5
+    assert run_body("return abs(-4);").exit_code == 4
+
+
+def test_print_str():
+    assert run_body('print_str(argv[1]); return 0;', argv=[b"p", b"xyz"]).output == b"xyz"

@@ -1,0 +1,98 @@
+"""Property-based tests of the merge invariant.
+
+The fundamental soundness property of precise state merging (paper §2.1,
+Algorithm 1 line 20): for any input satisfying one constituent's path
+condition, every merged value must evaluate to that constituent's value.
+Random stores and path conditions exercise merge_values/merge_states far
+beyond what the corpus reaches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.merge import merge_states, split_guard
+from repro.engine.state import ArrayBinding, Frame, Region, SymState
+from repro.expr import ops
+from repro.expr.evaluate import evaluate
+
+IN = ops.bv_var("pin", 8)  # the single symbolic input byte
+
+
+@st.composite
+def value_expr(draw):
+    """A store value: concrete, or a simple function of the input byte."""
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return ops.bv(draw(st.integers(0, 255)), 8)
+    if choice == 1:
+        return IN
+    if choice == 2:
+        return ops.add(IN, ops.bv(draw(st.integers(0, 255)), 8))
+    return ops.ite(ops.ult(IN, ops.bv(draw(st.integers(1, 255)), 8)),
+                   ops.bv(draw(st.integers(0, 255)), 8),
+                   ops.bv(draw(st.integers(0, 255)), 8))
+
+
+@st.composite
+def merge_pair(draw):
+    threshold = draw(st.integers(1, 254))
+    cond = ops.ult(IN, ops.bv(threshold, 8))
+    base = ops.ult(IN, ops.bv(255, 8))  # shared prefix
+    var_names = [f"v{k}" for k in range(draw(st.integers(1, 4)))]
+    cells = draw(st.integers(1, 3))
+
+    def mk(sid, branch_cond):
+        s = SymState(sid)
+        store = {name: draw(value_expr()) for name in var_names}
+        s.frames = [Frame("main", "blk", 0, store, {}, None, 1)]
+        key = (1, "main", "mem")
+        s.regions[key] = Region(tuple(draw(value_expr()) for _ in range(cells)), None, 8)
+        s.frames[0].arrays["mem"] = ArrayBinding(key)
+        s.pc = (base, branch_cond)
+        s.output = (draw(value_expr()),)
+        return s
+
+    return mk(1, cond), mk(2, ops.not_(cond)), threshold
+
+
+@given(merge_pair(), st.integers(0, 254))
+@settings(max_examples=200, deadline=None)
+def test_merge_preserves_constituents(pair, input_byte):
+    s1, s2, threshold = pair
+    merged = merge_states(s1, s2, 99)
+    assert merged is not None
+    source = s1 if input_byte < threshold else s2
+    model = {"pin": input_byte}
+    # every merged scalar equals the right constituent's value
+    for name, merged_value in merged.frames[0].store.items():
+        expected = evaluate(source.frames[0].store[name], model)
+        assert evaluate(merged_value, model) == expected, name
+    # memory cells too
+    merged_region = merged.regions[(1, "main", "mem")]
+    source_region = source.regions[(1, "main", "mem")]
+    for mc, sc in zip(merged_region.cells, source_region.cells):
+        assert evaluate(mc, model) == evaluate(sc, model)
+    # and the output
+    assert evaluate(merged.output[0], model) == evaluate(source.output[0], model)
+    # pc of the merged state accepts exactly the union of inputs
+    pc_val = all(evaluate(c, model) for c in merged.pc)
+    assert pc_val == (input_byte < 255)
+
+
+@given(merge_pair())
+@settings(max_examples=100, deadline=None)
+def test_merge_multiplicity_and_guard(pair):
+    s1, s2, _ = pair
+    merged = merge_states(s1, s2, 99)
+    assert merged.multiplicity == s1.multiplicity + s2.multiplicity
+    prefix_len, g1, g2 = split_guard(s1.pc, s2.pc)
+    assert prefix_len == 1  # the shared base constraint
+
+
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_split_guard_identical_pcs(values):
+    pc = tuple(ops.ult(IN, ops.bv(max(v, 1), 8)) for v in values)
+    prefix_len, s1, s2 = split_guard(pc, pc)
+    assert prefix_len == len(pc)
+    assert s1.is_true() and s2.is_true()

@@ -1,0 +1,159 @@
+"""QCE unit tests: query counts, hot sets, loops, interprocedural flow."""
+
+import math
+
+from repro.lang import compile_program
+from repro.qce import QceAnalysis, QceParams, analyze_module
+
+MAIN = "int main(int argc, char argv[][]) { %s }"
+
+
+def analyze(body, stdlib=False, **params):
+    module = compile_program(MAIN % body, include_stdlib=stdlib)
+    return module, QceAnalysis(module, QceParams(**params))
+
+
+def test_straightline_no_queries():
+    module, qce = analyze("int x = 1; return x;")
+    fn = module.function("main")
+    assert qce.qt_local("main", fn.entry) == 0.0
+
+
+def test_single_branch_counts_one():
+    module, qce = analyze("if (argc > 1) return 1; return 0;", beta=0.5)
+    fn = module.function("main")
+    assert qce.qt_local("main", fn.entry) == 1.0
+
+
+def test_sequential_branches_discounted_by_beta():
+    module, qce = analyze(
+        "if (argc > 1) putchar('a'); if (argc > 2) putchar('b'); return 0;", beta=0.5
+    )
+    fn = module.function("main")
+    # q(entry) = 1 + beta*q(next) + beta*q(next) with q(next) = 1: 1 + 2*0.5
+    assert math.isclose(qce.qt_local("main", fn.entry), 2.0)
+
+
+def test_loop_multiplies_by_trip_count():
+    module, qce = analyze(
+        "int s = 0; for (int i = 0; i < 4; i++) if (argc > i) s++; return s;", beta=1.0
+    )
+    fn = module.function("main")
+    # With beta=1 and a recognized trip count of 4, the inner branch and the
+    # header condition are each counted per iteration.
+    assert qce.qt_local("main", fn.entry) >= 8.0
+
+
+def test_qadd_tracks_dependence():
+    module, qce = analyze("int a = argc; int b = 1; if (a > 1) return 1; return b;")
+    fn = module.function("main")
+    entry = fn.entry
+    # At block entry the incoming a is dead (redefined first), but the
+    # parameter argc feeds the branch; b never reaches a query site.
+    assert qce.qadd_local("main", entry, "argc") > 0.0
+    assert qce.qadd_local("main", entry, "b") == 0.0
+
+
+def test_qadd_killed_by_reassignment():
+    # The value of `i` at entry dies at `i = 0`, so no future query depends
+    # on it (the paper's echo inner-counter argument).
+    module, qce = analyze("int i = argc; i = 0; if (i < argc) return 1; return 0;")
+    fn = module.function("main")
+    assert qce.qadd_local("main", fn.entry, "i") == 0.0
+
+
+def test_memory_access_counts_as_query_site():
+    # `i` is live across the if-join, and the only query after the join is
+    # the symbolic-index load — so that site alone must make Qadd(join, i)
+    # positive (paper footnote 1).
+    module, qce = analyze(
+        "int i = argc; if (argc > 2) i = 0; return argv[1][i];"
+    )
+    fn = module.function("main")
+    join_blocks = [label for label in fn.blocks
+                   if qce.qadd_local("main", label, "i") > 0.0]
+    assert join_blocks, "the load's index dependence on i was not counted"
+
+
+def test_hot_variables_threshold():
+    # Query hotness at the post-definition join where both a and b are live:
+    # a feeds three future branches, b only one.
+    module, qce = analyze(
+        "int a = argc; int b = argc + 1; if (argc > 9) putchar('s');"
+        " if (a > 1) putchar('p'); if (a > 2) putchar('q'); if (a > 3) putchar('x');"
+        " if (b > 1) putchar('y'); return 0;",
+        alpha=0.5,
+    )
+    fn = module.function("main")
+    candidates = [label for label in fn.blocks
+                  if qce.qadd_local("main", label, "a") > 0.0
+                  and qce.qadd_local("main", label, "b") > 0.0]
+    assert candidates
+    label = max(candidates, key=lambda l: qce.qadd_local("main", l, "a"))
+    qt = qce.qt_local("main", label)
+    hot = qce.hot_variables("main", label, qt)
+    assert "a" in hot
+    assert "b" not in hot
+
+
+def test_alpha_zero_everything_hot():
+    module, qce = analyze(
+        "int a = argc; if (argc > 5) putchar('x'); if (a > 1) return 1; return 0;",
+        alpha=0.0,
+    )
+    fn = module.function("main")
+    hot_blocks = [label for label in fn.blocks
+                  if "a" in qce.hot_variables("main", label, qce.qt_local("main", label))]
+    assert hot_blocks  # a is hot wherever its live value feeds the branch
+
+
+def test_alpha_infinite_nothing_hot():
+    module, qce = analyze(
+        "int a = argc; if (argc > 5) putchar('x'); if (a > 1) return 1; return 0;",
+        alpha=math.inf,
+    )
+    fn = module.function("main")
+    for label in fn.blocks:
+        assert qce.hot_variables("main", label, qce.qt_local("main", label)) == frozenset()
+
+
+def test_interprocedural_callee_counts():
+    src = (
+        "int check(int v) { if (v > 1) return 1; if (v > 2) return 2; return 0; }\n"
+        + MAIN % "return check(argc);"
+    )
+    module = compile_program(src, include_stdlib=False)
+    qce = QceAnalysis(module, QceParams(beta=0.5))
+    main_fn = module.function("main")
+    # main has no branches of its own; all of its Qt comes from the callee.
+    assert qce.qt_local("main", main_fn.entry) > 0.0
+    # and argc's Qadd flows through the parameter mapping into check's v.
+    assert qce.qadd_local("main", main_fn.entry, "argc") > 0.0
+
+
+def test_recursion_bounded():
+    src = (
+        "int f(int v) { if (v <= 0) return 0; return f(v - 1); }\n"
+        + MAIN % "return f(argc);"
+    )
+    module = compile_program(src, include_stdlib=False)
+    qce = QceAnalysis(module, QceParams())  # must terminate
+    assert qce.qt_local("main", module.function("main").entry) >= 0.0
+
+
+def test_analyze_module_memoized():
+    module = compile_program(MAIN % "return 0;", include_stdlib=False)
+    params = QceParams()
+    assert analyze_module(module, params) is analyze_module(module, params)
+    assert analyze_module(module, QceParams(alpha=0.9)) is not analyze_module(module, params)
+
+
+def test_qadd_never_exceeds_site_budget():
+    """Qadd(l, v) <= Qt(l) whenever all sites count equally."""
+    module, qce = analyze(
+        "int a = argc; for (int i = 0; i < 3; i++) if (a > i) putchar('x'); return 0;"
+    )
+    for label in module.function("main").blocks:
+        qt = qce.qt_local("main", label)
+        for var, qadd in qce.qadd_map("main", label).items():
+            assert qadd <= qt + 1e-9, (label, var, qadd, qt)

@@ -1,0 +1,125 @@
+"""Regression tests for specific bugs found during development.
+
+Each test documents a bug class that once existed; keep them green.
+"""
+
+from repro.engine import Engine, EngineConfig
+from repro.env import ArgvSpec
+from repro.expr import ops
+from repro.expr.evaluate import evaluate
+from repro.lang import compile_program, run_concrete
+from repro.solver.portfolio import SolverChain, complete_model
+
+
+def test_group_model_does_not_clobber_other_groups():
+    """Bug: a cache hit for one independence group returned a *full* model
+    from an earlier query; merging it overwrote other groups' variables
+    (found via cat's symbolic-output mismatch)."""
+    x = ops.bv_var("grp_x", 8)
+    y = ops.bv_var("grp_y", 8)
+    chain = SolverChain()
+    # Seed the recent-model cache with y = 0.
+    first = chain.check([ops.ult(x, ops.bv(10, 8)), ops.eq(y, ops.bv(0, 8))])
+    assert first.is_sat
+    # Now ask for y = 69 alongside an x-group the cached model satisfies.
+    constraints = [ops.ult(x, ops.bv(10, 8)), ops.eq(ops.zext(y, 32), ops.bv(69, 32))]
+    result = chain.check(constraints)
+    assert result.is_sat
+    model = complete_model(result.model, ["grp_x", "grp_y"])
+    for c in constraints:
+        assert evaluate(c, model) == 1
+
+
+def test_array_parameters_not_reallocated():
+    """Bug: local-array allocation re-allocated array *parameters*, so the
+    callee wrote into a fresh region instead of the caller's (interp and
+    engine both affected)."""
+    src = """
+    void set_first(char s[]) { s[0] = 'X'; }
+    int main(int argc, char argv[][]) {
+        char buf[3];
+        buf[0] = 'a';
+        set_first(buf);
+        return buf[0];
+    }
+    """
+    module = compile_program(src)
+    assert run_concrete(module, [b"p"]).exit_code == ord("X")
+    engine = Engine(module, ArgvSpec(n_args=0, arg_len=1),
+                    EngineConfig(generate_tests=False, similarity="never",
+                                 keep_terminal_states=True))
+    engine.run()
+    [state] = engine.terminal_states
+    assert state.exit_code.value == ord("X")
+
+
+def test_not_of_flipped_comparison_detected_as_complement():
+    """Bug: and_(c, not_(c)) failed to fold to false because not_ rewrote
+    the comparison into its flipped form."""
+    x = ops.bv_var("cmp_x", 8)
+    y = ops.bv_var("cmp_y", 8)
+    c = ops.ult(x, y)
+    assert ops.and_(c, ops.not_(c)).is_false()
+    assert ops.or_(c, ops.not_(c)).is_true()
+    assert ops.ite(ops.not_(c), x, y) is ops.ite(c, y, x)
+
+
+def test_dsm_hash_includes_structure():
+    """Bug: DSM's similarity hash ignored output length, so structurally
+    unmergeable states fast-forwarded each other forever and DSM degraded
+    to SSM-like coverage."""
+    from repro.engine.similarity import QceSimilarity
+    from repro.engine.state import Frame, SymState
+    from repro.qce import QceAnalysis, QceParams
+
+    module = compile_program(
+        "int main(int argc, char argv[][]) { if (argc > 1) putchar('x'); return 0; }",
+        include_stdlib=False,
+    )
+    sim = QceSimilarity(QceAnalysis(module, QceParams()))
+    s1, s2 = SymState(1), SymState(2)
+    fn = module.function("main")
+    s1.frames = [Frame("main", fn.entry, 0, {"argc": ops.bv(2, 32)}, {}, None, 1)]
+    s2.frames = [Frame("main", fn.entry, 0, {"argc": ops.bv(2, 32)}, {}, None, 1)]
+    s2.output = (ops.bv(120, 8),)
+    assert sim.state_hash(s1) != sim.state_hash(s2)
+
+
+def test_luby_iterative_no_recursion_blowup():
+    """Bug: the original recursive luby() hit Python's recursion limit."""
+    from repro.solver.sat import luby
+
+    assert luby(10_000) >= 1  # must terminate quickly, no RecursionError
+
+
+def test_qce_deep_loops_no_recursion_blowup():
+    """Bug: the recursive q descent exceeded the recursion limit on
+    kappa-unrolled nested loops (wc, tsort, ...)."""
+    src = """
+    int main(int argc, char argv[][]) {
+        int n = 0;
+        for (int a = 0; a < argc; a++)
+            for (int i = 0; argv[1][i]; i++)
+                for (int k = 0; k < argc; k++)
+                    n++;
+        return n;
+    }
+    """
+    from repro.qce import QceAnalysis, QceParams
+
+    module = compile_program(src, include_stdlib=False)
+    analysis = QceAnalysis(module, QceParams(kappa=10))
+    assert analysis.qt_local("main", module.function("main").entry) > 0
+
+
+def test_redeclared_for_counter_allowed():
+    """Bug: `for (int i = ...)` twice in one function was rejected."""
+    src = """
+    int main(int argc, char argv[][]) {
+        int n = 0;
+        for (int i = 0; i < 2; i++) n++;
+        for (int i = 0; i < 3; i++) n++;
+        return n;
+    }
+    """
+    assert run_concrete(compile_program(src), [b"p"]).exit_code == 5

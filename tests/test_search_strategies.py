@@ -1,0 +1,109 @@
+"""Search strategies: pick order and coverage preference."""
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.engine.state import Frame, SymState
+from repro.env import ArgvSpec
+from repro.lang import compile_program
+from repro.search.strategies import (
+    BfsStrategy,
+    CoverageStrategy,
+    DfsStrategy,
+    RandomStrategy,
+    TopologicalStrategy,
+    make_strategy,
+)
+
+MAIN = "int main(int argc, char argv[][]) { %s }"
+
+
+def engine_for(body, strategy="dfs"):
+    module = compile_program(MAIN % body)
+    return Engine(module, ArgvSpec(n_args=1, arg_len=2),
+                  EngineConfig(merging="none", similarity="never", strategy=strategy,
+                               generate_tests=False))
+
+
+def mk_states(engine, blocks):
+    states = []
+    for i, block in enumerate(blocks):
+        s = SymState(i + 1)
+        s.frames = [Frame("main", block, 0, {}, {}, None, 1)]
+        states.append(s)
+    return states
+
+
+def test_factory_known_names():
+    for name in ("dfs", "bfs", "random", "coverage", "topological"):
+        assert make_strategy(name).pick is not None
+    with pytest.raises(ValueError):
+        make_strategy("nope")
+
+
+def test_dfs_picks_last_bfs_first():
+    engine = engine_for("return 0;")
+    states = mk_states(engine, ["entry0", "entry0", "entry0"])
+    assert DfsStrategy().pick(states, engine) == 2
+    assert BfsStrategy().pick(states, engine) == 0
+
+
+def test_random_deterministic_by_seed():
+    engine = engine_for("return 0;")
+    states = mk_states(engine, ["entry0"] * 10)
+    a = [RandomStrategy(7).pick(states, engine) for _ in range(5)]
+    b = [RandomStrategy(7).pick(states, engine) for _ in range(5)]
+    assert a == b
+
+
+def test_topological_prefers_earlier_blocks():
+    engine = engine_for("if (argv[1][0]) putchar('a'); return 0;")
+    fn = engine.module.function("main")
+    rpo = fn.reverse_postorder()
+    early, late = rpo[0], rpo[-1]
+    states = mk_states(engine, [late, early])
+    assert TopologicalStrategy().pick(states, engine) == 1
+
+
+def test_topological_prefers_deeper_stack():
+    engine = engine_for("return strlen(argv[1]);")
+    s_shallow = SymState(1)
+    s_shallow.frames = [Frame("main", engine.module.function("main").entry, 0, {}, {}, None, 1)]
+    s_deep = SymState(2)
+    s_deep.frames = [
+        Frame("main", engine.module.function("main").entry, 0, {}, {}, None, 1),
+        Frame("strlen", engine.module.function("strlen").entry, 0, {}, {}, None, 2),
+    ]
+    assert TopologicalStrategy().pick([s_shallow, s_deep], engine) == 1
+
+
+def test_coverage_prefers_uncovered_block():
+    engine = engine_for("if (argv[1][0]) putchar('a'); return 0;")
+    fn = engine.module.function("main")
+    rpo = fn.reverse_postorder()
+    engine.coverage.touch("main", rpo[0])
+    states = mk_states(engine, [rpo[0], rpo[-1]])
+    strategy = CoverageStrategy(0)
+    assert strategy.pick(states, engine) == 1
+
+
+def test_coverage_depriorities_repeated_picks():
+    engine = engine_for("return 0;")
+    fn = engine.module.function("main")
+    block = fn.entry
+    engine.coverage.touch("main", block)
+    strategy = CoverageStrategy(0)
+    states = mk_states(engine, [block, block])
+    # after many picks of the same location the counts equalize; just check
+    # the strategy stays within bounds and counts picks
+    for _ in range(5):
+        idx = strategy.pick(states, engine)
+        assert idx in (0, 1)
+    assert strategy.pick_counts[("main", block)] == 5
+
+
+def test_all_strategies_complete_exploration():
+    for name in ("dfs", "bfs", "random", "coverage", "topological"):
+        engine = engine_for("if (argv[1][0] == 'x') putchar('y'); return 0;", strategy=name)
+        stats = engine.run()
+        assert stats.paths_completed == 2, name

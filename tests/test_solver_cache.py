@@ -1,0 +1,63 @@
+"""Query cache: exact hits, subset-UNSAT, model reuse, eviction."""
+
+from repro.expr import ops
+from repro.solver.cache import QueryCache
+
+X = ops.bv_var("cx", 8)
+A = ops.ult(X, ops.bv(10, 8))
+B = ops.ult(ops.bv(3, 8), X)
+C = ops.eq(X, ops.bv(5, 8))
+
+
+def test_exact_hit():
+    cache = QueryCache()
+    cache.store([A, B], True, {"cx": 5})
+    assert cache.lookup([A, B]) == (True, {"cx": 5})
+    assert cache.hits_exact == 1
+
+
+def test_order_insensitive_keys():
+    cache = QueryCache()
+    cache.store([A, B], True, {"cx": 5})
+    assert cache.lookup([B, A]) is not None
+
+
+def test_subset_unsat_hit():
+    cache = QueryCache()
+    contradiction = ops.ult(X, ops.bv(2, 8))
+    cache.store([A, contradiction], False, None)
+    # superset of an UNSAT set is UNSAT
+    verdict = cache.lookup([A, contradiction, B])
+    assert verdict == (False, None)
+    assert cache.hits_subset_unsat == 1
+
+
+def test_model_reuse_hit():
+    cache = QueryCache()
+    cache.store([A, B], True, {"cx": 5})
+    # different constraint set, but the cached model satisfies it
+    verdict = cache.lookup([C])
+    assert verdict is not None and verdict[0] is True
+    assert cache.hits_model_reuse == 1
+
+
+def test_miss_counted():
+    cache = QueryCache()
+    assert cache.lookup([A]) is None
+    assert cache.misses == 1
+
+
+def test_eviction_bounds():
+    cache = QueryCache(max_entries=4, max_models=2, max_unsat_sets=2)
+    for k in range(10):
+        constraint = ops.eq(X, ops.bv(k, 8))
+        cache.store([constraint], True, {"cx": k})
+    assert len(cache._exact) <= 4
+    assert len(cache._recent_models) <= 2
+
+
+def test_clear():
+    cache = QueryCache()
+    cache.store([A], True, {"cx": 1})
+    cache.clear()
+    assert cache.lookup([A]) is None

@@ -1,0 +1,112 @@
+"""SolverChain end-to-end behavior and statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import ops
+from repro.expr.evaluate import evaluate
+from repro.solver.portfolio import SolverChain, SolverTimeout, complete_model
+
+X = ops.bv_var("px8", 8)
+Y = ops.bv_var("py8", 8)
+
+
+def test_empty_is_sat():
+    assert SolverChain().check([]).is_sat
+
+
+def test_const_false_short_circuits():
+    chain = SolverChain()
+    result = chain.check([ops.FALSE])
+    assert not result.is_sat
+    assert chain.stats.const_answers == 1
+
+
+def test_conjunction_flattening():
+    chain = SolverChain()
+    combined = ops.and_(ops.ult(X, ops.bv(10, 8)), ops.ult(ops.bv(3, 8), X))
+    result = chain.check([combined])
+    assert result.is_sat
+    assert 3 < result.model["px8"] < 10
+
+
+def test_model_covers_split_groups():
+    chain = SolverChain()
+    result = chain.check([ops.eq(X, ops.bv(1, 8)), ops.eq(Y, ops.bv(2, 8))])
+    assert result.is_sat
+    assert result.model["px8"] == 1 and result.model["py8"] == 2
+
+
+def test_cache_avoids_resolving():
+    chain = SolverChain()
+    constraints = [ops.eq(ops.mul(X, Y), ops.bv(35, 8)), ops.ult(X, Y),
+                   ops.ult(ops.bv(1, 8), X)]
+    first = chain.check(constraints)
+    runs_after_first = chain.stats.sat_solver_runs
+    second = chain.check(constraints)
+    assert first.is_sat == second.is_sat
+    assert chain.stats.sat_solver_runs == runs_after_first
+    assert chain.cache.hits >= 1
+
+
+def test_must_and_may_helpers():
+    chain = SolverChain()
+    pc = [ops.ult(X, ops.bv(10, 8))]
+    assert chain.must_be_true(pc, ops.ult(X, ops.bv(11, 8)))
+    assert not chain.must_be_true(pc, ops.ult(X, ops.bv(5, 8)))
+    assert chain.may_be_true(pc, ops.ult(X, ops.bv(5, 8)))
+    assert not chain.may_be_true(pc, ops.ult(ops.bv(10, 8), X))
+
+
+def test_get_model_unsat_returns_none():
+    chain = SolverChain()
+    assert chain.get_model([ops.FALSE]) is None
+
+
+def test_complete_model_fills_zero():
+    model = complete_model({"a": 5}, ["a", "b", "c"])
+    assert model == {"a": 5, "b": 0, "c": 0}
+
+
+def test_timeout_raises():
+    # Pigeonhole (6 pigeons, 5 holes): UNSAT and resistant to propagation,
+    # so a 5-conflict budget is guaranteed to trip.
+    holes = 5
+    constraints = []
+    for p in range(holes + 1):
+        constraints.append(ops.or_all([ops.bool_var(f"to{p}_{h}") for h in range(holes)]))
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                constraints.append(
+                    ops.not_(ops.and_(ops.bool_var(f"to{p1}_{h}"),
+                                      ops.bool_var(f"to{p2}_{h}")))
+                )
+    chain = SolverChain(conflict_budget=5, use_fastpath=False, use_cache=False,
+                        use_independence=False)
+    with pytest.raises(SolverTimeout):
+        chain.check(constraints)
+    assert chain.stats.timeouts == 1
+
+
+def test_disabled_tiers_still_correct():
+    for cache, fastpath, independence in [(False, False, False), (True, False, True)]:
+        chain = SolverChain(use_cache=cache, use_fastpath=fastpath,
+                            use_independence=independence)
+        assert chain.check([ops.ult(X, ops.bv(4, 8))]).is_sat
+        assert not chain.check([ops.ult(X, ops.bv(4, 8)),
+                                ops.ult(ops.bv(9, 8), X)]).is_sat
+
+
+@given(st.integers(0, 255), st.integers(1, 254))
+@settings(max_examples=40, deadline=None)
+def test_models_always_evaluate_true(a, b):
+    chain = SolverChain()
+    constraints = [ops.eq(ops.add(X, ops.bv(a, 8)), ops.bv(b, 8)),
+                   ops.ule(Y, ops.bv(b, 8))]
+    result = chain.check(constraints)
+    assert result.is_sat
+    model = complete_model(result.model, ["px8", "py8"])
+    for c in constraints:
+        assert evaluate(c, model) == 1

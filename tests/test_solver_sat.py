@@ -1,0 +1,126 @@
+"""CDCL SAT solver unit tests: propagation, learning, hard instances."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.sat import CDCLSolver, SatResult, luby
+
+
+def test_luby_sequence_prefix():
+    assert [luby(i) for i in range(1, 16)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+
+def test_empty_formula_sat():
+    assert CDCLSolver().solve() == SatResult.SAT
+
+
+def test_unit_propagation_chain():
+    s = CDCLSolver()
+    a, b, c = s.new_var(), s.new_var(), s.new_var()
+    s.add_clause([a])
+    s.add_clause([-a, b])
+    s.add_clause([-b, c])
+    assert s.solve() == SatResult.SAT
+    assert s.value(a) and s.value(b) and s.value(c)
+
+
+def test_immediate_contradiction():
+    s = CDCLSolver()
+    a = s.new_var()
+    s.add_clause([a])
+    assert not s.add_clause([-a]) or s.solve() == SatResult.UNSAT
+
+
+def test_tautology_dropped():
+    s = CDCLSolver()
+    a, b = s.new_var(), s.new_var()
+    assert s.add_clause([a, -a, b])
+    assert s.solve() == SatResult.SAT
+
+
+def test_duplicate_literals_collapse():
+    s = CDCLSolver()
+    a = s.new_var()
+    s.add_clause([a, a, a])
+    assert s.solve() == SatResult.SAT
+    assert s.value(a) is True
+
+
+def test_simple_unsat_core():
+    s = CDCLSolver()
+    a, b = s.new_var(), s.new_var()
+    for clause in ([a, b], [a, -b], [-a, b], [-a, -b]):
+        s.add_clause(list(clause))
+    assert s.solve() == SatResult.UNSAT
+
+
+def test_pigeonhole_unsat():
+    holes = 4
+    pigeons = holes + 1
+    s = CDCLSolver()
+    var = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        s.add_clause([var[p][h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-var[p1][h], -var[p2][h]])
+    assert s.solve() == SatResult.UNSAT
+    assert s.stats_conflicts > 0
+    assert s.stats_learned > 0
+
+
+def test_conflict_budget_timeout():
+    holes = 7
+    pigeons = holes + 1
+    s = CDCLSolver()
+    var = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        s.add_clause([var[p][h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-var[p1][h], -var[p2][h]])
+    with pytest.raises(TimeoutError):
+        s.solve(conflict_budget=5)
+
+
+def _brute_force(n_vars, clauses):
+    for bits in range(1 << n_vars):
+        assignment = [(bits >> i) & 1 for i in range(n_vars)]
+        if all(any(assignment[abs(l) - 1] == (l > 0) for l in cl) for cl in clauses):
+            return True
+    return False
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=120, deadline=None)
+def test_random_3sat_matches_brute_force(seed):
+    rng = random.Random(seed)
+    n_vars = rng.randint(3, 9)
+    n_clauses = rng.randint(1, 35)
+    clauses = []
+    for _ in range(n_clauses):
+        lits = set()
+        for _ in range(3):
+            v = rng.randint(1, n_vars)
+            lits.add(v if rng.random() < 0.5 else -v)
+        clauses.append(sorted(lits))
+    s = CDCLSolver()
+    for _ in range(n_vars):
+        s.new_var()
+    trivially_unsat = False
+    for cl in clauses:
+        if not s.add_clause(list(cl)):
+            trivially_unsat = True
+            break
+    result = SatResult.UNSAT if trivially_unsat else s.solve()
+    expected = _brute_force(n_vars, clauses)
+    assert (result == SatResult.SAT) == expected
+    if result == SatResult.SAT:
+        # Model check: every clause satisfied.
+        for cl in clauses:
+            assert any((s.value(abs(l)) or False) == (l > 0) for l in cl)
