@@ -69,3 +69,42 @@ def test_solver_chain_cached_requeries(benchmark):
         return chain.stats.queries
 
     assert benchmark(run) == 200
+
+
+def test_incremental_branch_stream(benchmark):
+    """The executor's hot pattern: a growing pc probed at every branch.
+
+    The incremental chain answers the whole stream off one persistent
+    blaster; the verdict sequence must match the fresh-blast chain while
+    re-blasting (sat_solver_runs) collapses to the blaster-build count.
+    """
+    from repro.solver.portfolio import IncrementalChain
+
+    x = ops.bv_var("ix", 8)
+    y = ops.bv_var("iy", 8)
+    conds = [ops.ult(ops.bv(k, 8), ops.add(x, ops.mul(y, ops.bv(3, 8))))
+             for k in range(12)]
+
+    def drive(chain):
+        verdicts = []
+        pc = []
+        for cond in conds:
+            then_res, else_res = chain.check_branch(pc, cond)
+            verdicts.append((then_res.is_sat, else_res.is_sat))
+            if then_res.is_sat:
+                pc = pc + [cond]
+            elif else_res.is_sat:
+                pc = pc + [ops.not_(cond)]
+        return verdicts
+
+    fresh = SolverChain(use_cache=False, use_fastpath=False)
+    fresh_verdicts = drive(fresh)
+
+    def run():
+        chain = IncrementalChain(use_cache=False, use_fastpath=False)
+        return drive(chain), chain
+
+    verdicts, chain = benchmark(run)
+    assert verdicts == fresh_verdicts
+    assert chain.stats.sat_solver_runs < fresh.stats.sat_solver_runs
+    assert chain.stats.incremental_reuses > 0

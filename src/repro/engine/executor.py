@@ -34,7 +34,7 @@ from ..lang.cfg import (
 )
 from ..lang.types import Array2DType, ArrayType
 from ..qce.qce import QceAnalysis, QceParams, analyze_module
-from ..solver.portfolio import SolverChain
+from ..solver.portfolio import IncrementalChain, SolverChain
 from .merge import merge_states
 from .similarity import (
     LiveVarSimilarity,
@@ -76,6 +76,7 @@ class EngineConfig:
     seed: int = 0
     solver_cache: bool = True
     solver_fastpath: bool = True
+    solver_incremental: bool = True
     preconditions: tuple[Expr, ...] = ()
 
 
@@ -86,7 +87,8 @@ class Engine:
         self.module = module
         self.spec = spec
         self.config = config or EngineConfig()
-        self.solver = SolverChain(
+        chain_cls = IncrementalChain if self.config.solver_incremental else SolverChain
+        self.solver = chain_cls(
             use_cache=self.config.solver_cache, use_fastpath=self.config.solver_fastpath
         )
         self.stats = EngineStats()
@@ -250,6 +252,10 @@ class Engine:
                 else:
                     self._add_state(succ, try_merge=self.config.merging != "none")
         self.stats.wall_time = time.perf_counter() - start
+        solver_stats = self.solver.stats
+        self.stats.solver_assumption_probes = solver_stats.assumption_probes
+        self.stats.solver_incremental_reuses = solver_stats.incremental_reuses
+        self.stats.solver_clauses_retained = solver_stats.clauses_retained
         return self.stats
 
     def _budget_exhausted(self, start: float) -> bool:
@@ -504,8 +510,11 @@ class Engine:
             frame.idx = 0
             return self._after_move(state)
         neg = ops.not_(cond)
-        then_res = self.solver.check(list(state.pc) + [cond])
-        else_res = self.solver.check(list(state.pc) + [neg])
+        # One batch query decides both arms: on an incremental chain the
+        # two probes share the path condition's persistent encoding, and a
+        # provably-infeasible arm lets the other's solve be elided.
+        then_res, else_res = self.solver.check_branch(state.pc, cond)
+        self.stats.branch_queries += 1
         successors: list[SymState] = []
         if then_res.is_sat and else_res.is_sat:
             self.stats.forks += 1

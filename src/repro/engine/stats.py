@@ -17,6 +17,7 @@ class EngineStats:
     blocks_executed: int = 0
     instructions_executed: int = 0
     forks: int = 0
+    branch_queries: int = 0
     merges: int = 0
     dsm_fastforward_picks: int = 0
     dsm_fastforward_states: int = 0
@@ -32,6 +33,12 @@ class EngineStats:
     tests_generated: int = 0
     wall_time: float = 0.0
     timed_out: bool = False
+    # Mirrors of the solver's incremental-tier counters, copied at the end
+    # of a run so one EngineStats snapshot carries the whole story (the
+    # experiment harness and figures read snapshots, not the chain).
+    solver_assumption_probes: int = 0
+    solver_incremental_reuses: int = 0
+    solver_clauses_retained: int = 0
 
     def snapshot(self) -> dict[str, float]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}

@@ -8,6 +8,7 @@ from .figures import (
     fig7_alpha_sweep,
     fig8_coverage,
     fig9_dsm_vs_ssm,
+    incremental_ablation,
 )
 from .harness import BUDGETED_CORPUS, FAST_EXHAUSTIVE, MODES, RunSettings, cost_of, run_cell
 from .pathcount import PathFit, calibrate, collect_points, fit_points
@@ -31,6 +32,7 @@ __all__ = [
     "fig8_coverage",
     "fig9_dsm_vs_ssm",
     "fit_points",
+    "incremental_ablation",
     "render_table",
     "run_cell",
     "save_json",

@@ -424,3 +424,96 @@ def fig9_dsm_vs_ssm(scale: str = CI, programs=None) -> Fig9Result:
             )
         )
     return Fig9Result(rows)
+
+
+# ---------------------------------------------------------------------------
+# Incremental-solving ablation — fresh-blast vs. assumption-based bottom tier
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IncRow:
+    program: str
+    paths: int
+    cost_fresh: int
+    cost_incremental: int
+    sat_runs_fresh: int
+    sat_runs_incremental: int
+    reuses: int
+    probes: int
+    clauses_retained: int
+
+
+@dataclass
+class IncResult:
+    rows: list[IncRow] = field(default_factory=list)
+
+    def table(self) -> str:
+        data = [
+            [
+                r.program,
+                r.paths,
+                r.cost_fresh,
+                r.cost_incremental,
+                r.sat_runs_fresh,
+                r.sat_runs_incremental,
+                r.reuses,
+                r.clauses_retained,
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "paths", "cost(fresh)", "cost(incr)", "blasts(fresh)",
+             "blasts(incr)", "reuses", "clauses kept"],
+            data,
+            title="Ablation — incremental assumption-based solving vs. fresh blasting",
+        )
+
+    def total_cost_ratio(self) -> float:
+        fresh = sum(r.cost_fresh for r in self.rows)
+        incr = sum(r.cost_incremental for r in self.rows)
+        return incr / fresh if fresh else 1.0
+
+    def total_blast_ratio(self) -> float:
+        fresh = sum(r.sat_runs_fresh for r in self.rows)
+        incr = sum(r.sat_runs_incremental for r in self.rows)
+        return incr / fresh if fresh else 1.0
+
+
+def incremental_ablation(
+    scale: str = CI, programs=None, mode: str = "plain"
+) -> IncResult:
+    """Run each program twice — fresh-blast vs. incremental bottom tier.
+
+    Both runs must agree on the explored path space (the chains are
+    verdict-equivalent); the incremental run should re-blast far less.
+    """
+    programs = programs or ["echo", "test", "wc", "uniq"]
+    cap = _budget(scale, 20000, 120000)
+    rows: list[IncRow] = []
+    for program in programs:
+        fresh = run_cell(
+            RunSettings(program=program, mode=mode, max_steps=cap, solver_incremental=False)
+        )
+        incr = run_cell(
+            RunSettings(program=program, mode=mode, max_steps=cap, solver_incremental=True)
+        )
+        if fresh.paths != incr.paths:
+            raise AssertionError(
+                f"{program}: incremental chain changed the path space "
+                f"({fresh.paths} vs {incr.paths})"
+            )
+        rows.append(
+            IncRow(
+                program,
+                incr.paths,
+                cost_of(fresh),
+                cost_of(incr),
+                fresh.solver_stats.sat_solver_runs,
+                incr.solver_stats.sat_solver_runs,
+                incr.solver_stats.incremental_reuses,
+                incr.solver_stats.assumption_probes,
+                incr.solver_stats.clauses_retained,
+            )
+        )
+    return IncResult(rows)

@@ -50,6 +50,7 @@ class RunSettings:
     track_exact_paths: bool = False
     generate_tests: bool = False
     seed: int = 0
+    solver_incremental: bool = True
 
 
 def run_cell(settings: RunSettings) -> SymbolicRunResult:
@@ -77,6 +78,7 @@ def run_cell(settings: RunSettings) -> SymbolicRunResult:
         track_exact_paths=settings.track_exact_paths,
         generate_tests=settings.generate_tests,
         seed=settings.seed,
+        solver_incremental=settings.solver_incremental,
     )
     return run_symbolic_module(info.compile(), spec, config, program_name=settings.program)
 

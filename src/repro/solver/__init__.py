@@ -9,13 +9,21 @@ from .bitblast import BitBlaster, check_sat
 from .cache import QueryCache
 from .domains import quick_check
 from .independence import relevant_constraints, split_independent
-from .portfolio import CheckResult, SolverChain, SolverStats, SolverTimeout, complete_model
+from .portfolio import (
+    CheckResult,
+    IncrementalChain,
+    SolverChain,
+    SolverStats,
+    SolverTimeout,
+    complete_model,
+)
 from .sat import CDCLSolver, SatResult, luby
 
 __all__ = [
     "BitBlaster",
     "CDCLSolver",
     "CheckResult",
+    "IncrementalChain",
     "QueryCache",
     "SatResult",
     "SolverChain",

@@ -18,7 +18,16 @@ from .sat import CDCLSolver, SatResult
 
 
 class BitBlaster:
-    """One blasting context per query: expressions in, clauses out."""
+    """A blasting context: expressions in, clauses out.
+
+    Usable one-shot (``assert_expr`` + ``solve``) or *persistently*: all
+    encodings are memoized by ``Expr.eid``, so a constraint is lowered to
+    CNF at most once per blaster lifetime.  For persistent use, constraints
+    are activated per query through :meth:`guard_literal` — an activation
+    literal ``g`` with ``g -> constraint`` clauses — passed to
+    :meth:`solve` as assumptions, so the same circuit (and every clause the
+    CDCL core learned about it) serves many queries.
+    """
 
     def __init__(self) -> None:
         self.sat = CDCLSolver()
@@ -28,6 +37,7 @@ class BitBlaster:
         self._vec_cache: dict[int, list[int]] = {}
         self._gate_cache: dict[tuple, int] = {}
         self._divmod_cache: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
+        self._guard_cache: dict[int, int] = {}
         self.var_bits: dict[str, list[int]] = {}
         self.bool_vars: dict[str, int] = {}
 
@@ -358,9 +368,36 @@ class BitBlaster:
     def assert_expr(self, e: Expr) -> None:
         self.sat.add_clause([self.blast_bool(e)])
 
-    def solve(self, conflict_budget: int | None = None) -> dict[str, int] | None:
-        """Solve the asserted formula; returns a model or None if UNSAT."""
-        if self.sat.solve(conflict_budget) == SatResult.UNSAT:
+    def guard_literal(self, e: Expr) -> int:
+        """Activation literal for ``e``: assuming it forces the constraint.
+
+        Memoized per expression id, so re-activating a constraint on a
+        later query costs one dictionary lookup — the whole point of the
+        persistent blaster.  Only ``g -> e`` is encoded (not ``<->``): when
+        ``g`` is not assumed the constraint is simply disabled.
+        """
+        g = self._guard_cache.get(e.eid)
+        if g is None:
+            lit = self.blast_bool(e)
+            g = self.sat.new_var()
+            self.sat.add_clause([-g, lit])
+            self._guard_cache[e.eid] = g
+        return g
+
+    @property
+    def clause_count(self) -> int:
+        """Current clause-database size (original + learned)."""
+        return len(self.sat.clauses)
+
+    def solve(
+        self, conflict_budget: int | None = None, assumptions: list[int] | None = None
+    ) -> dict[str, int] | None:
+        """Solve the asserted formula; returns a model or None if UNSAT.
+
+        ``assumptions`` (typically guard literals) activate constraints for
+        this call only — see :meth:`CDCLSolver.solve`.
+        """
+        if self.sat.solve(conflict_budget, assumptions=assumptions) == SatResult.UNSAT:
             return None
         model: dict[str, int] = {}
         for name, bits in self.var_bits.items():

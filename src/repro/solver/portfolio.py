@@ -2,16 +2,38 @@
 
 :class:`SolverChain` is the engine-facing facade, mirroring KLEE's stacked
 solvers (independent-constraint splitter, counterexample cache, and STP at
-the bottom — here our own CDCL bit-blaster).
+the bottom — here our own CDCL bit-blaster).  It blasts each query that
+reaches the bottom tier from scratch.
+
+:class:`IncrementalChain` replaces the bottom tier with *incremental*
+assumption-based solving: one long-lived :class:`BitBlaster` is kept per
+independence-group signature (the group's variable set), each constraint
+is encoded once and activated per query through a guard literal, and the
+CDCL core keeps its learned clauses and VSIDS activity across queries.
+Invariants for the persistent blasters:
+
+* a blaster only ever sees constraints over its signature's variables, so
+  guard-gated encodings from older queries cannot interfere with verdicts
+  — inactive constraints are simply disabled circuits;
+* a blaster must be **reset** (dropped and lazily rebuilt) whenever a
+  query against it times out — the conflict budget may have been burned on
+  clauses the next query would also trip over — and when its clause
+  database outgrows ``max_blaster_clauses``;
+* models read from a persistent blaster may bind variables from earlier
+  queries; callers must treat only the queried group's variables as
+  authoritative (see :meth:`SolverChain._check_inner`).
 
 Besides wall-clock time, the chain maintains a deterministic *cost unit*
-counter (SAT decisions + propagations, plus a constant per query) used by
+counter (SAT decisions + conflicts, plus a constant per query) used by
 the experiment harness as a platform-independent proxy for solver load.
+Accounting invariant: ``queries == sat_answers + unsat_answers +
+timeouts`` even when :class:`SolverTimeout` escapes ``check``.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..expr import ops
@@ -41,6 +63,16 @@ class SolverStats:
     cost_units: int = 0
     time_total: float = 0.0
     timeouts: int = 0
+    # Incremental-tier counters (stay 0 on a fresh-blast chain).
+    # ``sat_solver_runs`` counts *full blasts*: every bottom-tier query on
+    # the fresh chain, but only blaster (re)builds on the incremental one.
+    assumption_probes: int = 0
+    incremental_reuses: int = 0
+    clauses_retained: int = 0
+    blasters_created: int = 0
+    blasters_reset: int = 0
+    branch_batches: int = 0
+    branch_elisions: int = 0
 
     def snapshot(self) -> dict[str, float]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
@@ -82,6 +114,11 @@ class SolverChain:
         self.stats.cost_units += 1
         try:
             result = self._check_inner(list(constraints))
+        except SolverTimeout:
+            # Keep the ledger balanced: a timed-out query is neither a SAT
+            # nor an UNSAT answer, so queries == sat + unsat + timeouts.
+            self.stats.timeouts += 1
+            raise
         finally:
             self.stats.time_total += time.perf_counter() - start
         if result.is_sat:
@@ -90,21 +127,43 @@ class SolverChain:
             self.stats.unsat_answers += 1
         return result
 
+    def check_branch(self, pc, cond: Expr) -> tuple[CheckResult, CheckResult]:
+        """Decide ``pc ∧ cond`` and ``pc ∧ ¬cond`` as one batch.
+
+        This is the executor's branch-feasibility query.  The base chain
+        simply issues both checks; :class:`IncrementalChain` answers both
+        off one shared persistent encoding and can elide the second solve.
+        """
+        self.stats.branch_batches += 1
+        pc = list(pc)
+        return self.check(pc + [cond]), self.check(pc + [ops.not_(cond)])
+
     # -- internals -----------------------------------------------------------
 
-    def _check_inner(self, constraints: list[Expr]) -> CheckResult:
-        # Normalize: flatten conjunctions, drop trues, dedupe.
+    @staticmethod
+    def _flatten(constraints) -> tuple[list[Expr], bool]:
+        """Normalize: flatten conjunctions, drop trues, dedupe.
+
+        Returns ``(flat, is_const_false)``.  This is the cache-key
+        normalization — every lookup and store must go through it.
+        """
         flat: list[Expr] = []
         seen: set[int] = set()
         for c in constraints:
             for leaf in flatten_conjuncts(c):
                 if leaf.is_false():
-                    self.stats.const_answers += 1
-                    return CheckResult(False)
+                    return [], True
                 if leaf.is_true() or leaf.eid in seen:
                     continue
                 seen.add(leaf.eid)
                 flat.append(leaf)
+        return flat, False
+
+    def _check_inner(self, constraints: list[Expr]) -> CheckResult:
+        flat, const_false = self._flatten(constraints)
+        if const_false:
+            self.stats.const_answers += 1
+            return CheckResult(False)
         if not flat:
             self.stats.const_answers += 1
             return CheckResult(True, {})
@@ -166,7 +225,6 @@ class SolverChain:
         try:
             model = blaster.solve(self.conflict_budget)
         except TimeoutError as exc:
-            self.stats.timeouts += 1
             self._account_sat(blaster)
             raise SolverTimeout(str(exc)) from exc
         self._account_sat(blaster)
@@ -199,6 +257,137 @@ class SolverChain:
     def may_be_true(self, path_condition, expr: Expr) -> bool:
         """True iff some solution of the path condition satisfies ``expr``."""
         return self.check(list(path_condition) + [expr]).is_sat
+
+
+class _PersistentBlaster:
+    """A long-lived :class:`BitBlaster` plus last-seen CDCL counters.
+
+    The counters let the chain account each probe's *delta* cost, since
+    the underlying solver statistics are cumulative across queries.
+    """
+
+    __slots__ = ("blaster", "seen_decisions", "seen_conflicts", "seen_propagations")
+
+    def __init__(self) -> None:
+        self.blaster = BitBlaster()
+        self.seen_decisions = 0
+        self.seen_conflicts = 0
+        self.seen_propagations = 0
+
+
+@dataclass
+class IncrementalChain(SolverChain):
+    """A :class:`SolverChain` whose bottom tier solves incrementally.
+
+    One persistent blaster is kept per independence-group *signature* (the
+    frozenset of variable names in the group).  As a path condition grows,
+    successive queries over the same variables land on the same blaster:
+    already-seen constraints reuse their memoized CNF encoding and guard
+    literal, and the CDCL core's learned clauses and activity carry over.
+    Queries are answered by assumption probes — no clause is ever retracted,
+    so an UNSAT-under-assumptions answer leaves the blaster valid.
+
+    ``max_blasters`` bounds the pool (LRU); ``max_blaster_clauses`` bounds
+    any one clause database (the blaster is reset past it).  A timed-out
+    blaster is always reset — see the module docstring invariants.
+    """
+
+    max_blasters: int = 32
+    max_blaster_clauses: int = 500_000
+    _blasters: OrderedDict[frozenset[str], _PersistentBlaster] = field(
+        default_factory=OrderedDict, repr=False
+    )
+
+    def check_branch(self, pc, cond: Expr) -> tuple[CheckResult, CheckResult]:
+        """Batch branch query with UNSAT-side elision.
+
+        Both sides share every tier: one flattened ``pc`` encoding on the
+        persistent blaster (``cond`` and ``¬cond`` differ by one literal).
+        When ``pc ∧ cond`` is UNSAT and ``pc`` itself is known satisfiable
+        — a cache-only peek, which almost always hits because ``pc`` was
+        the previous branch query's exact constraint set — then
+        ``pc ∧ ¬cond`` is SAT by implication and the second solve is
+        elided entirely (no model is materialized).
+        """
+        self.stats.branch_batches += 1
+        pc = list(pc)
+        then_res = self.check(pc + [cond])
+        if not then_res.is_sat and self._known_sat(pc):
+            self.stats.branch_elisions += 1
+            return then_res, CheckResult(True, None)
+        return then_res, self.check(pc + [ops.not_(cond)])
+
+    def _known_sat(self, constraints: list[Expr]) -> bool:
+        """Cache-only evidence that ``constraints`` is satisfiable.
+
+        Never solves; a miss just means the elision shortcut is skipped.
+        """
+        if not self.use_cache:
+            return False
+        flat, const_false = self._flatten(constraints)
+        if const_false:
+            return False
+        if not flat:
+            return True
+        hit = self.cache.lookup(flat)
+        return hit is not None and hit[0]
+
+    def reset_blasters(self) -> None:
+        """Drop all persistent blasters (they rebuild lazily)."""
+        if self._blasters:
+            self.stats.blasters_reset += len(self._blasters)
+            self._blasters.clear()
+
+    # -- incremental bottom tier ------------------------------------------------
+
+    def _check_sat(self, group: list[Expr]) -> CheckResult:
+        sig = frozenset().union(*(c.variables for c in group)) if group else frozenset()
+        entry = self._blasters.get(sig)
+        if entry is not None and entry.blaster.clause_count > self.max_blaster_clauses:
+            del self._blasters[sig]
+            self.stats.blasters_reset += 1
+            entry = None
+        if entry is None:
+            entry = _PersistentBlaster()
+            self._blasters[sig] = entry
+            self.stats.blasters_created += 1
+            self.stats.sat_solver_runs += 1  # a full (re-)blast
+            if len(self._blasters) > self.max_blasters:
+                self._blasters.popitem(last=False)
+        else:
+            self._blasters.move_to_end(sig)
+            self.stats.incremental_reuses += 1
+            self.stats.clauses_retained += entry.blaster.clause_count
+        self.stats.assumption_probes += 1
+        assumptions = [entry.blaster.guard_literal(c) for c in group]
+        try:
+            model = entry.blaster.solve(self.conflict_budget, assumptions=assumptions)
+        except TimeoutError as exc:
+            self._account_probe(entry)
+            # Recovery path: the budget may have died in this blaster's
+            # learned-clause swamp; drop it so the next query re-blasts.
+            self._blasters.pop(sig, None)
+            self.stats.blasters_reset += 1
+            raise SolverTimeout(str(exc)) from exc
+        self._account_probe(entry)
+        if model is None:
+            self._store_group(group, False, None)
+            return CheckResult(False)
+        self._store_group(group, True, model)
+        return CheckResult(True, model)
+
+    def _account_probe(self, entry: _PersistentBlaster) -> None:
+        sat = entry.blaster.sat
+        d_dec = sat.stats_decisions - entry.seen_decisions
+        d_con = sat.stats_conflicts - entry.seen_conflicts
+        d_prop = sat.stats_propagations - entry.seen_propagations
+        entry.seen_decisions = sat.stats_decisions
+        entry.seen_conflicts = sat.stats_conflicts
+        entry.seen_propagations = sat.stats_propagations
+        self.stats.sat_decisions += d_dec
+        self.stats.sat_conflicts += d_con
+        self.stats.sat_propagations += d_prop
+        self.stats.cost_units += d_dec + d_con
 
 
 def complete_model(model: dict[str, int], variables) -> dict[str, int]:

@@ -6,6 +6,14 @@ solver decides them.  Features: two-watched-literal propagation, first-UIP
 clause learning, non-chronological backjumping, VSIDS-style activity
 decisions with phase saving, and Luby restarts.
 
+The solver is *incremental* in the MiniSat style: :meth:`CDCLSolver.solve`
+accepts ``assumptions`` — literals enqueued as pseudo-decisions at levels
+``1..k`` before any free decision is made.  An UNSAT answer under
+assumptions does not poison the solver (``ok`` stays True); learned
+clauses and VSIDS activity persist across calls, and new clauses may be
+added between calls.  This is what lets a persistent bit-blaster answer a
+stream of related path-condition queries without re-encoding anything.
+
 Literals are non-zero Python ints: ``+v`` is the positive literal of
 variable ``v`` (1-based), ``-v`` its negation.
 """
@@ -87,11 +95,14 @@ class CDCLSolver:
     def add_clause(self, lits: list[int]) -> bool:
         """Add a clause; returns False if the formula became trivially UNSAT.
 
-        Must be called before :meth:`solve` (no incremental clause addition
-        below decision level 0 is needed by the bit-blaster).
+        May be called between :meth:`solve` calls (incremental use): any
+        leftover non-root assignment from a previous answer is undone first
+        so root-level simplification stays sound.
         """
         if not self.ok:
             return False
+        if self.trail_lim:
+            self._backtrack(0)
         seen: set[int] = set()
         out: list[int] = []
         for lit in lits:
@@ -271,18 +282,29 @@ class CDCLSolver:
 
     # -- main loop -----------------------------------------------------------
 
-    def solve(self, conflict_budget: int | None = None) -> str:
+    def solve(
+        self, conflict_budget: int | None = None, assumptions: list[int] | None = None
+    ) -> str:
         """Run the CDCL loop; returns :data:`SatResult.SAT` or ``UNSAT``.
 
         ``conflict_budget`` bounds total conflicts (raises ``TimeoutError``
         when exhausted); experiments use it as a per-query solver timeout.
+
+        ``assumptions`` are literals taken as pseudo-decisions at levels
+        ``1..k`` before the free search starts.  UNSAT under assumptions
+        leaves the solver reusable (``ok`` stays True); only a root-level
+        conflict marks the formula permanently UNSAT.  After a SAT answer
+        the trail is kept so :meth:`value` reads the model; the next
+        :meth:`solve` or :meth:`add_clause` call clears it.
         """
         if not self.ok:
             return SatResult.UNSAT
+        self._backtrack(0)
         conflict = self._propagate()
         if conflict is not None:
             self.ok = False
             return SatResult.UNSAT
+        assumed = list(assumptions) if assumptions else []
         restart_num = 1
         conflicts_until_restart = 100 * luby(restart_num)
         total_conflicts = 0
@@ -292,9 +314,15 @@ class CDCLSolver:
                 self.stats_conflicts += 1
                 total_conflicts += 1
                 if conflict_budget is not None and total_conflicts > conflict_budget:
+                    self._backtrack(0)
                     raise TimeoutError("SAT conflict budget exhausted")
                 if not self.trail_lim:
                     self.ok = False
+                    return SatResult.UNSAT
+                if len(self.trail_lim) <= len(assumed):
+                    # Conflict forced entirely by the assumptions: UNSAT
+                    # under assumptions, but the formula itself is intact.
+                    self._backtrack(0)
                     return SatResult.UNSAT
                 learned, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
@@ -314,6 +342,18 @@ class CDCLSolver:
                     conflicts_until_restart = 100 * luby(restart_num)
                     self.stats_restarts += 1
                     self._backtrack(0)
+            elif len(self.trail_lim) < len(assumed):
+                # Place the next assumption as a pseudo-decision.  A level
+                # is opened even when the literal already holds, keeping
+                # level k <-> assumption k aligned for the conflict check.
+                lit = assumed[len(self.trail_lim)]
+                val = self._lit_value(lit)
+                if val is False:
+                    self._backtrack(0)
+                    return SatResult.UNSAT
+                self.trail_lim.append(len(self.trail))
+                if val is None:
+                    self._enqueue(lit, None)
             else:
                 decision = self._decide()
                 if decision is None:

@@ -141,3 +141,43 @@ def test_differential_random_predicates(pred):
         for xv in range(0, 256, 3):
             for yv in range(0, 256, 7):
                 assert evaluate(pred, {"bbx": xv, "bby": yv}) == 0
+
+
+class TestGuardLiterals:
+    """Activation literals for persistent (incremental) blasting."""
+
+    def test_guard_activates_constraint(self):
+        blaster = BitBlaster()
+        lt = ops.ult(X, ops.bv(10, 8))
+        ge = ops.ule(ops.bv(10, 8), X)
+        g_lt, g_ge = blaster.guard_literal(lt), blaster.guard_literal(ge)
+        model = blaster.solve(assumptions=[g_lt])
+        assert model is not None and model["bbx"] < 10
+        model = blaster.solve(assumptions=[g_ge])
+        assert model is not None and model["bbx"] >= 10
+        assert blaster.solve(assumptions=[g_lt, g_ge]) is None
+        # UNSAT under assumptions is not permanent: either side still solves.
+        assert blaster.solve(assumptions=[g_lt]) is not None
+
+    def test_guard_memoized_per_expression(self):
+        blaster = BitBlaster()
+        e = ops.eq(X, ops.bv(3, 8))
+        g1 = blaster.guard_literal(e)
+        clauses_after = blaster.clause_count
+        g2 = blaster.guard_literal(e)
+        assert g1 == g2
+        assert blaster.clause_count == clauses_after, "re-guarding must be free"
+
+    def test_unguarded_constraints_do_not_leak(self):
+        """A guarded-but-inactive constraint must not constrain the query."""
+        blaster = BitBlaster()
+        blaster.guard_literal(ops.eq(X, ops.bv(7, 8)))  # never assumed
+        g = blaster.guard_literal(ops.eq(X, ops.bv(200, 8)))
+        model = blaster.solve(assumptions=[g])
+        assert model is not None and model["bbx"] == 200
+
+    def test_guard_of_constant_false(self):
+        blaster = BitBlaster()
+        g = blaster.guard_literal(ops.FALSE)
+        assert blaster.solve(assumptions=[g]) is None
+        assert blaster.solve() is not None

@@ -61,3 +61,92 @@ def test_clear():
     cache.store([A], True, {"cx": 1})
     cache.clear()
     assert cache.lookup([A]) is None
+
+
+# ---------------------------------------------------------------------------
+# Property tests: randomized workloads against a brute-force ground truth.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.expr.evaluate import evaluate  # noqa: E402
+
+PX = ops.bv_var("qcx", 4)
+PY = ops.bv_var("qcy", 4)
+
+# A small constraint pool over two 4-bit variables: every subset's verdict
+# is decidable by exhaustive evaluation, giving an exact referee.
+_POOL = (
+    [ops.eq(PX, ops.bv(k, 4)) for k in (0, 3, 7, 12)]
+    + [ops.ult(PX, ops.bv(k, 4)) for k in (2, 9, 14)]
+    + [ops.ult(ops.bv(k, 4), PX) for k in (1, 6, 13)]
+    + [ops.eq(PY, ops.bv(k, 4)) for k in (5, 10)]
+    + [ops.ult(PY, ops.bv(k, 4)) for k in (4, 11)]
+    + [ops.eq(ops.add(PX, PY), ops.bv(9, 4))]
+)
+
+
+def _brute_force(constraints):
+    """Exact (is_sat, model) by enumerating the 16x16 value space."""
+    for x in range(16):
+        for y in range(16):
+            model = {"qcx": x, "qcy": y}
+            if all(evaluate(c, model) == 1 for c in constraints):
+                return True, model
+    return False, None
+
+
+_subsets = st.lists(st.sampled_from(_POOL), min_size=1, max_size=4, unique=True)
+
+
+@given(st.lists(st.tuples(_subsets, st.booleans()), min_size=5, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_property_verdicts_always_truthful(workload):
+    """Under any store/lookup interleaving, no tier returns a wrong verdict.
+
+    In particular the subset-UNSAT tier must never fire on a SAT query and
+    any model handed back (exact or model-reuse) must satisfy the query.
+    """
+    cache = QueryCache(max_entries=8, max_models=3, max_unsat_sets=3)
+    for constraints, do_store in workload:
+        truth_sat, truth_model = _brute_force(constraints)
+        if do_store:
+            cache.store(constraints, truth_sat, truth_model)
+        else:
+            hit = cache.lookup(constraints)
+            if hit is None:
+                continue
+            is_sat, model = hit
+            assert is_sat == truth_sat, constraints
+            if is_sat and model is not None:
+                assert all(evaluate(c, model) == 1 for c in constraints)
+
+
+@given(st.lists(_subsets, min_size=10, max_size=40), st.randoms(use_true_random=False))
+@settings(max_examples=25, deadline=None)
+def test_property_model_reuse_valid_after_eviction_churn(stores, rnd):
+    """Eviction churn past every bound never yields a stale-model SAT hit."""
+    cache = QueryCache(max_entries=5, max_models=2, max_unsat_sets=2)
+    seen: list[list] = []
+    for constraints in stores:
+        truth_sat, truth_model = _brute_force(constraints)
+        cache.store(constraints, truth_sat, truth_model)
+        seen.append(constraints)
+        probe = rnd.choice(seen)
+        hit = cache.lookup(probe)
+        if hit is not None and hit[0] and hit[1] is not None:
+            assert all(evaluate(c, hit[1]) == 1 for c in probe)
+
+
+@given(st.lists(_subsets, min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_property_lru_bounds_hold(stores):
+    """max_entries / max_models / max_unsat_sets hold after every store."""
+    cache = QueryCache(max_entries=6, max_models=2, max_unsat_sets=3)
+    for constraints in stores:
+        truth_sat, truth_model = _brute_force(constraints)
+        cache.store(constraints, truth_sat, truth_model)
+        assert len(cache._exact) <= cache.max_entries
+        assert len(cache._recent_models) <= cache.max_models
+        assert len(cache._unsat_sets) <= cache.max_unsat_sets

@@ -6,7 +6,12 @@ from hypothesis import strategies as st
 
 from repro.expr import ops
 from repro.expr.evaluate import evaluate
-from repro.solver.portfolio import SolverChain, SolverTimeout, complete_model
+from repro.solver.portfolio import (
+    IncrementalChain,
+    SolverChain,
+    SolverTimeout,
+    complete_model,
+)
 
 X = ops.bv_var("px8", 8)
 Y = ops.bv_var("py8", 8)
@@ -110,3 +115,107 @@ def test_models_always_evaluate_true(a, b):
     model = complete_model(result.model, ["px8", "py8"])
     for c in constraints:
         assert evaluate(c, model) == 1
+
+
+def _pigeonhole_constraints(holes=5):
+    """PHP(holes+1, holes) as boolean exprs: UNSAT, propagation-resistant."""
+    constraints = []
+    for p in range(holes + 1):
+        constraints.append(ops.or_all([ops.bool_var(f"ph{p}_{h}") for h in range(holes)]))
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                constraints.append(
+                    ops.not_(ops.and_(ops.bool_var(f"ph{p1}_{h}"),
+                                      ops.bool_var(f"ph{p2}_{h}")))
+                )
+    return constraints
+
+
+def test_cached_model_cannot_clobber_other_group():
+    """Regression: a cached full-assignment model reused for one
+    independence group must not overwrite another group's bindings.
+
+    The first query caches a full model with a=1.  The second query's
+    b-group hits the model-reuse tier and gets that full model back; only
+    its own variable (b) may be taken from it, or it would clobber the
+    a-group's fresh a=2 solution.
+    """
+    a = ops.bv_var("cga", 8)
+    b = ops.bv_var("cgb", 8)
+    b_group = [ops.ult(ops.bv(0, 8), b), ops.ult(b, ops.bv(100, 8))]
+    chain = SolverChain()
+    first = chain.check([ops.eq(a, ops.bv(1, 8))] + b_group)
+    assert first.is_sat and first.model["cga"] == 1
+    second = chain.check([ops.eq(a, ops.bv(2, 8))] + b_group)
+    assert second.is_sat
+    assert second.model["cga"] == 2, "stale cached binding clobbered the a-group"
+    full = complete_model(second.model, ["cga", "cgb"])
+    for c in [ops.eq(a, ops.bv(2, 8))] + b_group:
+        assert evaluate(c, full) == 1
+
+
+@pytest.mark.parametrize("chain_cls", [SolverChain, IncrementalChain])
+def test_timeout_keeps_answer_ledger_consistent(chain_cls):
+    """queries == sat_answers + unsat_answers + timeouts, even on timeout."""
+    chain = chain_cls(conflict_budget=5, use_fastpath=False, use_cache=False,
+                      use_independence=False)
+    with pytest.raises(SolverTimeout):
+        chain.check(_pigeonhole_constraints())
+    stats = chain.stats
+    assert stats.timeouts == 1
+    assert stats.sat_answers == 0 and stats.unsat_answers == 0
+    assert stats.queries == stats.sat_answers + stats.unsat_answers + stats.timeouts
+
+
+def test_timeout_resets_persistent_blaster_and_recovers():
+    """After a timeout the stale blaster is dropped; the chain stays usable
+    and re-solves the same query correctly once the budget allows."""
+    hard = _pigeonhole_constraints()
+    chain = IncrementalChain(conflict_budget=5, use_fastpath=False, use_cache=False,
+                             use_independence=False)
+    with pytest.raises(SolverTimeout):
+        chain.check(hard)
+    assert chain.stats.blasters_created == 1
+    assert chain.stats.blasters_reset == 1
+    assert not chain._blasters, "timed-out blaster must not linger"
+    # The chain remains usable for unrelated queries...
+    assert chain.check([ops.ult(X, ops.bv(4, 8))]).is_sat
+    # ...and the hard query succeeds after raising the budget, on a fresh
+    # blaster (rebuilt lazily, not the stale one).
+    chain.conflict_budget = 200_000
+    assert not chain.check(hard).is_sat
+    assert chain.stats.blasters_created == 3
+    assert chain.stats.queries == (chain.stats.sat_answers + chain.stats.unsat_answers
+                                   + chain.stats.timeouts)
+
+
+def test_incremental_chain_matches_on_chain_unit_cases():
+    """The base-chain unit scenarios hold verbatim on the incremental tier."""
+    chain = IncrementalChain()
+    assert chain.check([]).is_sat
+    assert not chain.check([ops.FALSE]).is_sat
+    result = chain.check([ops.eq(X, ops.bv(1, 8)), ops.eq(Y, ops.bv(2, 8))])
+    assert result.is_sat
+    assert result.model["px8"] == 1 and result.model["py8"] == 2
+    pc = [ops.ult(X, ops.bv(10, 8))]
+    assert chain.must_be_true(pc, ops.ult(X, ops.bv(11, 8)))
+    assert chain.may_be_true(pc, ops.ult(X, ops.bv(5, 8)))
+    assert not chain.may_be_true(pc, ops.ult(ops.bv(10, 8), X))
+
+
+def test_branch_elision_requires_known_sat_pc():
+    """check_branch only elides the ¬cond solve with cache evidence for pc."""
+    x = ops.bv_var("bex", 8)
+    chain = IncrementalChain()
+    pc = [ops.ult(x, ops.bv(10, 8))]
+    chain.check(pc)  # prime the cache: pc is known SAT
+    cond = ops.ult(ops.bv(20, 8), x)  # infeasible under pc
+    then_res, else_res = chain.check_branch(pc, cond)
+    assert not then_res.is_sat and else_res.is_sat
+    assert chain.stats.branch_elisions == 1
+    # Without the cache there is no evidence, so no elision happens.
+    bare = IncrementalChain(use_cache=False)
+    then_res, else_res = bare.check_branch(pc, cond)
+    assert not then_res.is_sat and else_res.is_sat
+    assert bare.stats.branch_elisions == 0

@@ -124,3 +124,103 @@ def test_random_3sat_matches_brute_force(seed):
         # Model check: every clause satisfied.
         for cl in clauses:
             assert any((s.value(abs(l)) or False) == (l > 0) for l in cl)
+
+
+class TestAssumptions:
+    """Incremental solving: assumptions as pseudo-decisions at levels 1..k."""
+
+    def test_sat_under_assumptions(self):
+        s = CDCLSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve(assumptions=[-a]) == SatResult.SAT
+        assert s.value(b) is True
+
+    def test_unsat_under_assumptions_is_not_permanent(self):
+        s = CDCLSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve(assumptions=[-a, -b]) == SatResult.UNSAT
+        assert s.ok, "UNSAT under assumptions must not poison the solver"
+        assert s.solve() == SatResult.SAT
+        assert s.solve(assumptions=[-a]) == SatResult.SAT
+
+    def test_contradictory_assumptions(self):
+        s = CDCLSolver()
+        a = s.new_var()
+        s.add_clause([a, -a])  # tautology: formula trivially SAT
+        assert s.solve(assumptions=[a, -a]) == SatResult.UNSAT
+        assert s.ok
+
+    def test_assumption_conflicting_with_root_unit(self):
+        s = CDCLSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a])
+        s.add_clause([b, -b])
+        assert s.solve(assumptions=[-a]) == SatResult.UNSAT
+        assert s.ok
+        assert s.solve(assumptions=[a]) == SatResult.SAT
+
+    def test_clauses_added_between_solves(self):
+        s = CDCLSolver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([a, b, c])
+        assert s.solve(assumptions=[-a, -b]) == SatResult.SAT
+        assert s.value(c) is True
+        s.add_clause([-c])  # added after a SAT answer left a trail
+        assert s.solve(assumptions=[-a, -b]) == SatResult.UNSAT
+        assert s.solve(assumptions=[-a]) == SatResult.SAT
+        assert s.value(b) is True
+
+    def test_learned_clauses_persist_across_calls(self):
+        """Solving the same hard UNSAT core twice is cheaper the second time."""
+        holes = 4
+        s = CDCLSolver()
+        var = [[s.new_var() for _ in range(holes)] for _ in range(holes + 1)]
+        selector = s.new_var()
+        for p in range(holes + 1):
+            s.add_clause([-selector] + [var[p][h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(holes + 1):
+                for p2 in range(p1 + 1, holes + 1):
+                    s.add_clause([-var[p1][h], -var[p2][h]])
+        assert s.solve(assumptions=[selector]) == SatResult.UNSAT
+        first_conflicts = s.stats_conflicts
+        assert s.solve(assumptions=[selector]) == SatResult.UNSAT
+        second_conflicts = s.stats_conflicts - first_conflicts
+        assert second_conflicts <= first_conflicts
+        # Without the selector the formula stays satisfiable throughout.
+        assert s.solve() == SatResult.SAT
+
+    def test_permanent_unsat_beats_assumptions(self):
+        s = CDCLSolver()
+        a = s.new_var()
+        s.add_clause([a])
+        s.add_clause([-a])
+        assert s.solve(assumptions=[a]) == SatResult.UNSAT
+        assert not s.ok
+
+    def test_randomized_assumption_probes_match_fresh_solves(self):
+        """Differential: probing k random units == solving a fresh copy."""
+        rng = random.Random(99)
+        n_vars, n_clauses = 20, 60
+        clauses = [
+            [rng.choice(range(1, n_vars + 1)) * rng.choice((1, -1)) for _ in range(3)]
+            for _ in range(n_clauses)
+        ]
+        persistent = CDCLSolver()
+        for _ in range(n_vars):
+            persistent.new_var()
+        for cl in clauses:
+            persistent.add_clause(cl)
+        for _trial in range(25):
+            assumed = [rng.choice(range(1, n_vars + 1)) * rng.choice((1, -1))
+                       for _ in range(rng.randrange(1, 5))]
+            fresh = CDCLSolver()
+            for _ in range(n_vars):
+                fresh.new_var()
+            ok = True
+            for cl in clauses + [[lit] for lit in assumed]:
+                ok = fresh.add_clause(cl) and ok
+            expected = fresh.solve() if ok else SatResult.UNSAT
+            assert persistent.solve(assumptions=assumed) == expected, assumed
