@@ -71,6 +71,10 @@ class EngineConfig:
     max_queries: int | None = None
     track_exact_paths: bool = False
     generate_tests: bool = True
+    # Derive test inputs from a history-free solve of the pc (a pure
+    # function of the path prefix), so partitioned runs emit the same test
+    # set as sequential ones.  See repro.engine.testgen.deterministic_model.
+    testgen_deterministic: bool = True
     keep_terminal_states: bool = False
     zeta: float = 2.0  # ite cost multiplier for similarity='qce-full' (Eq. 7)
     seed: int = 0
@@ -101,6 +105,8 @@ class Engine:
         self._live_cache: dict[str, dict[str, frozenset[str]]] = {}
         self._live_at_cache: dict[tuple[str, str, int], frozenset[str]] = {}
         self._rpo_cache: dict[str, dict[str, int]] = {}
+        # True when the last explore() exited via its interrupt hook.
+        self.interrupted = False
         # (multiplicity, exact path count) per terminal state, when tracking.
         self.exact_path_samples: list[tuple[int, int]] = []
         # Terminal states, retained only when config.keep_terminal_states.
@@ -235,14 +241,44 @@ class Engine:
                 state.frames[-1].arrays[vname] = ArrayBinding(key)
 
     # -- main loop ----------------------------------------------------------------------
+    #
+    # ``run()`` is the sequential entry point; it is exactly the 1-worker
+    # special case of the partitioned code path: seed states, then
+    # ``explore()`` until the frontier drains.  The parallel subsystem
+    # (repro.parallel) drives the same loop with restored snapshot states
+    # and an ``interrupt`` hook at partition boundaries.
 
     def run(self) -> EngineStats:
         """Explore until the worklist empties or a budget trips."""
+        self.seed_states([self.make_initial_state()])
+        return self.explore()
+
+    def seed_states(self, states: list[SymState]) -> None:
+        """Add externally produced states (initial or restored partitions).
+
+        Seeds never try to merge: partition roots are pairwise disjoint by
+        construction, and the initial state has nothing to merge with.
+        """
+        for state in states:
+            if state.halted:
+                self._finalize(state)
+            else:
+                self._add_state(state, try_merge=False)
+
+    def explore(self, interrupt=None) -> EngineStats:
+        """Drive the worklist until it drains, a budget trips, or
+        ``interrupt(engine)`` returns True (partition-boundary hook: the
+        worklist is left intact, so exploration can resume or the frontier
+        can be exported for work stealing)."""
         start = time.perf_counter()
-        self._add_state(self.make_initial_state(), try_merge=False)
+        cpu_start = time.process_time()
+        self.interrupted = False
         while self.worklist:
             if self._budget_exhausted(start):
                 self.stats.timed_out = True
+                break
+            if interrupt is not None and interrupt(self):
+                self.interrupted = True
                 break
             state = self._pick_next()
             successors = self.step(state)
@@ -251,18 +287,54 @@ class Engine:
                     self._finalize(succ)
                 else:
                     self._add_state(succ, try_merge=self.config.merging != "none")
-        self.stats.wall_time = time.perf_counter() - start
+        self.stats.wall_time += time.perf_counter() - start
+        self.stats.cpu_time += time.process_time() - cpu_start
+        self._sync_solver_stats()
+        return self.stats
+
+    def _sync_solver_stats(self) -> None:
         solver_stats = self.solver.stats
         self.stats.solver_assumption_probes = solver_stats.assumption_probes
         self.stats.solver_incremental_reuses = solver_stats.incremental_reuses
         self.stats.solver_clauses_retained = solver_stats.clauses_retained
-        return self.stats
+        self.stats.solver_clauses_forgotten = solver_stats.clauses_forgotten
+
+    def export_frontier(self, max_states: int) -> list[SymState]:
+        """Remove and return up to ``max_states`` worklist states.
+
+        Victim choice is delegated to the strategy (``steal_pick``), which
+        picks states it would explore *last* — for DFS the oldest entries,
+        i.e. the largest pending subtrees.  The exported states, with the
+        remaining worklist, still partition this engine's search space.
+        """
+        if max_states >= len(self.worklist):
+            # Full drain: victim ordering is meaningless, skip the
+            # per-state steal_pick (quadratic for ranking strategies).
+            exported = list(self.worklist)
+            for state in exported:
+                self._index_remove(state)
+                self.strategy.on_remove(state)
+            self.worklist.clear()
+            return exported
+        exported = []
+        while self.worklist and len(exported) < max_states:
+            idx = self.strategy.steal_pick(self.worklist, self)
+            state = self.worklist.pop(idx)
+            self._index_remove(state)
+            self.strategy.on_remove(state)
+            exported.append(state)
+        return exported
 
     def _budget_exhausted(self, start: float) -> bool:
         cfg = self.config
         if cfg.max_steps is not None and self.stats.blocks_executed >= cfg.max_steps:
             return True
-        if cfg.time_budget is not None and time.perf_counter() - start > cfg.time_budget:
+        # time_budget is cumulative across explore() resumptions (the
+        # already-banked wall_time plus this call's elapsed time), so an
+        # interrupt/resume cycle cannot extend the budget.
+        if cfg.time_budget is not None and (
+            self.stats.wall_time + time.perf_counter() - start > cfg.time_budget
+        ):
             return True
         if cfg.max_queries is not None and self.solver.stats.queries >= cfg.max_queries:
             return True
@@ -415,7 +487,13 @@ class Engine:
             return False
         oob = self.solver.check(list(state.pc) + [ops.not_(in_bounds)])
         if oob.is_sat:
-            self._report_error(state, "bounds", line, model=oob.model)
+            self._report_error(
+                state,
+                "bounds",
+                line,
+                model=oob.model,
+                error_pc=list(state.pc) + [ops.not_(in_bounds)],
+            )
             ok = self.solver.check(list(state.pc) + [in_bounds])
             if not ok.is_sat:
                 return False
@@ -465,7 +543,13 @@ class Engine:
             return False
         violated = self.solver.check(list(state.pc) + [ops.not_(cond)])
         if violated.is_sat:
-            self._report_error(state, "assert", instr.line, model=violated.model)
+            self._report_error(
+                state,
+                "assert",
+                instr.line,
+                model=violated.model,
+                error_pc=list(state.pc) + [ops.not_(cond)],
+            )
             holds = self.solver.check(list(state.pc) + [cond])
             if not holds.is_sat:
                 return False
@@ -573,16 +657,38 @@ class Engine:
                 state.pc,
                 "path",
                 multiplicity=state.multiplicity,
+                deterministic=self.config.testgen_deterministic,
+                stats_sink=self.stats,
             )
             if case is not None:
                 self.tests.add(case)
                 self.stats.tests_generated += 1
 
-    def _report_error(self, state: SymState, kind: str, line: int, model=None) -> None:
+    def _report_error(
+        self, state: SymState, kind: str, line: int, model=None, error_pc=None
+    ) -> None:
+        """Record an error; ``error_pc`` is the constraint set an erroneous
+        input must satisfy (defaults to the state's pc for errors that are
+        unconditional on this path)."""
         self.stats.errors_found += 1
         if not self.config.generate_tests:
             return
-        if model is not None:
+        if self.config.testgen_deterministic:
+            # Re-derive the witness from the constraints alone so the test
+            # content does not depend on exploration order (the ``model``
+            # handed to us came from the history-carrying engine chain).
+            case = make_test_case(
+                self.solver,
+                self.spec,
+                error_pc if error_pc is not None else state.pc,
+                kind,
+                line=line,
+                deterministic=True,
+                stats_sink=self.stats,
+            )
+            if case is not None:
+                self.tests.add(case)
+        elif model is not None:
             from ..solver.portfolio import complete_model
 
             full = complete_model(model, self.spec.input_variables())

@@ -10,10 +10,12 @@ region, so cloning a state is a few shallow dict copies.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 
 from ..expr import ops
 from ..expr.nodes import Expr
+from ..expr.serialize import decode_exprs, encode_exprs
 from ..expr.subst import substitute
 
 RegionKey = tuple
@@ -275,6 +277,118 @@ class SymState:
         dead = [k for k in self.regions if k[0] == depth and k[1] == func]
         for k in dead:
             del self.regions[k]
+
+    # -- snapshot wire format ----------------------------------------------------
+    #
+    # A snapshot is a restartable *path prefix*: everything another process
+    # needs to resume exploring this state's subtree — frames, stores,
+    # regions, path condition, output — flattened to plain picklable data
+    # through the expression codec (:mod:`repro.expr.serialize`).  Process-
+    # local fields are deliberately dropped: ``sid`` is reassigned by the
+    # restoring engine and the DSM ``history`` is cleared, because its
+    # similarity hashes embed interned-expression ids that mean nothing in
+    # another process (merging restarts cleanly within the new partition).
+
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self) -> bytes:
+        """Serialize into bytes that :meth:`from_snapshot` can resume from."""
+        roots: list[Expr] = []
+
+        def ref(expr: Expr) -> int:
+            roots.append(expr)
+            return len(roots) - 1
+
+        frames = [
+            (
+                f.func,
+                f.block,
+                f.idx,
+                f.ret_dst,
+                f.depth,
+                {name: ref(v) for name, v in f.store.items()},
+                {
+                    name: (b.key, ref(b.row) if b.row is not None else None)
+                    for name, b in f.arrays.items()
+                },
+            )
+            for f in self.frames
+        ]
+        regions = [
+            (key, r.cols, r.width, tuple(ref(c) for c in r.cells))
+            for key, r in self.regions.items()
+        ]
+        payload = {
+            "version": self.SNAPSHOT_VERSION,
+            "frames": frames,
+            "globals": {name: ref(v) for name, v in self.globals_store.items()},
+            "regions": regions,
+            "pc": tuple(ref(c) for c in self.pc),
+            "output": tuple(ref(o) for o in self.output),
+            "exact_pcs": None
+            if self.exact_pcs is None
+            else tuple(tuple(ref(c) for c in pc) for pc in self.exact_pcs),
+            "multiplicity": self.multiplicity,
+            "steps": self.steps,
+            "halted": self.halted,
+            "exit_code": ref(self.exit_code) if self.exit_code is not None else None,
+            "error": self.error,
+            "generation": self.generation,
+        }
+        nodes, root_indices = encode_exprs(roots)
+        payload["nodes"] = nodes
+        payload["roots"] = root_indices
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_snapshot(cls, data: bytes, sid: int) -> "SymState":
+        """Rebuild a state from :meth:`snapshot` bytes under a fresh sid."""
+        payload = pickle.loads(data)
+        if payload["version"] != cls.SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {payload['version']}")
+        decoded = decode_exprs(payload["nodes"])
+        root_indices = payload["roots"]
+
+        def deref(i: int) -> Expr:
+            return decoded[root_indices[i]]
+
+        state = cls(sid)
+        state.frames = [
+            Frame(
+                func,
+                block,
+                idx,
+                {name: deref(i) for name, i in store.items()},
+                {
+                    name: ArrayBinding(
+                        tuple(key), deref(row_i) if row_i is not None else None
+                    )
+                    for name, (key, row_i) in arrays.items()
+                },
+                ret_dst,
+                depth,
+            )
+            for func, block, idx, ret_dst, depth, store, arrays in payload["frames"]
+        ]
+        state.globals_store = {name: deref(i) for name, i in payload["globals"].items()}
+        state.regions = {
+            tuple(key): Region(tuple(deref(i) for i in cells), cols, width)
+            for key, cols, width, cells in payload["regions"]
+        }
+        state.pc = tuple(deref(i) for i in payload["pc"])
+        state.output = tuple(deref(i) for i in payload["output"])
+        if payload["exact_pcs"] is not None:
+            state.exact_pcs = tuple(
+                tuple(deref(i) for i in pc) for pc in payload["exact_pcs"]
+            )
+        state.multiplicity = payload["multiplicity"]
+        state.steps = payload["steps"]
+        state.halted = payload["halted"]
+        if payload["exit_code"] is not None:
+            state.exit_code = deref(payload["exit_code"])
+        state.error = payload["error"]
+        state.generation = payload["generation"]
+        return state
 
     def __repr__(self) -> str:
         loc = ",".join(f"{f.func}:{f.block}:{f.idx}" for f in self.frames) or "<done>"

@@ -31,7 +31,18 @@ class EngineStats:
     max_worklist: int = 0
     errors_found: int = 0
     tests_generated: int = 0
+    # Work done by deterministic test generation's history-free solves
+    # (testgen_deterministic).  Kept separate from the solver_* mirrors:
+    # those reflect the engine's own chain, whose ledger must balance on
+    # its own; these count the extra per-path re-solves.
+    testgen_queries: int = 0
+    testgen_cost_units: int = 0
     wall_time: float = 0.0
+    # CPU seconds consumed by this engine's process while exploring.
+    # Unlike wall_time this is immune to timesharing, which makes it the
+    # per-worker quantity the parallel-scaling figure's critical-path
+    # speedup is computed from (meaningful even on a single-core host).
+    cpu_time: float = 0.0
     timed_out: bool = False
     # Mirrors of the solver's incremental-tier counters, copied at the end
     # of a run so one EngineStats snapshot carries the whole story (the
@@ -39,9 +50,44 @@ class EngineStats:
     solver_assumption_probes: int = 0
     solver_incremental_reuses: int = 0
     solver_clauses_retained: int = 0
+    solver_clauses_forgotten: int = 0
+
+    # Fields that do not merge by addition: maxima stay maxima across
+    # workers, ``timed_out`` is an any-of, and these are handled explicitly
+    # in :meth:`merge`.
+    _MAX_FIELDS = ("max_multiplicity", "max_worklist")
+    _OR_FIELDS = ("timed_out",)
 
     def snapshot(self) -> dict[str, float]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold another engine's counters into this one.
+
+        The merge law the parallel coordinator's ledger relies on:
+        event counters (and ``wall_time``, which becomes aggregate CPU
+        seconds) add component-wise; high-water marks take the max;
+        ``timed_out`` is true if any participant tripped a budget.
+        Addition-merged fields therefore satisfy the ledger invariant
+        ``merged.f == sum(worker.f for worker in workers)`` exactly, and
+        ``merge`` is associative and commutative over those fields.
+        """
+        for name in self.__dataclass_fields__:
+            if name in self._MAX_FIELDS:
+                setattr(self, name, max(getattr(self, name), getattr(other, name)))
+            elif name in self._OR_FIELDS:
+                setattr(self, name, getattr(self, name) or getattr(other, name))
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    @classmethod
+    def merged(cls, parts) -> "EngineStats":
+        """Merge an iterable of stats into a fresh all-zero ledger."""
+        total = cls(states_created=0)
+        for part in parts:
+            total.merge(part)
+        return total
 
 
 @dataclass

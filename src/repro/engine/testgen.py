@@ -3,6 +3,15 @@
 Every completed path (and every error) yields a concrete input assignment
 obtained from the solver model of its path condition.  Test cases can be
 replayed on the concrete interpreter to validate the engine end to end.
+
+Determinism under partitioning: the engine's long-lived solver chain gives
+*order-dependent* models — its caches do subset-UNSAT and model-reuse
+lookups and its CDCL cores carry VSIDS activity, so the model for a pc
+depends on every query that came before it.  :func:`deterministic_model`
+instead seeds a history-free solve from the path prefix alone, making the
+generated test a pure function of the pc — which is what lets a 1-worker
+run and an N-worker partitioned run emit the *same* test set regardless of
+exploration order (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -52,6 +61,25 @@ class TestSuite:
         return [c for c in self.cases if c.kind != "path"]
 
 
+def deterministic_model(pc, stats_sink=None) -> dict[str, int] | None:
+    """Solve ``pc`` from scratch with a history-free chain.
+
+    No cache, no persistent blasters, no carried-over activity: the answer
+    (and in particular the *model*) depends only on the constraint set, so
+    any process solving the same pc decodes the same test input.
+
+    ``stats_sink`` (an :class:`~repro.engine.stats.EngineStats`) receives
+    the extra solver work (``testgen_queries``/``testgen_cost_units``) —
+    it is not part of the engine chain's own balanced ledger.
+    """
+    chain = SolverChain(use_cache=False)
+    result = chain.check(list(pc))
+    if stats_sink is not None:
+        stats_sink.testgen_queries += chain.stats.queries
+        stats_sink.testgen_cost_units += chain.stats.cost_units
+    return result.model if result.is_sat else None
+
+
 def make_test_case(
     solver: SolverChain,
     spec: ArgvSpec,
@@ -60,9 +88,14 @@ def make_test_case(
     exit_code: int | None = None,
     line: int | None = None,
     multiplicity: int = 1,
+    deterministic: bool = False,
+    stats_sink=None,
 ) -> TestCase | None:
     """Solve the path condition and decode a concrete argv; None if UNSAT."""
-    model = solver.get_model(list(pc))
+    if deterministic:
+        model = deterministic_model(pc, stats_sink=stats_sink)
+    else:
+        model = solver.get_model(list(pc))
     if model is None:
         return None
     full = complete_model(model, spec.input_variables())

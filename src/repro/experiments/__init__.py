@@ -9,8 +9,17 @@ from .figures import (
     fig8_coverage,
     fig9_dsm_vs_ssm,
     incremental_ablation,
+    parallel_scaling,
 )
-from .harness import BUDGETED_CORPUS, FAST_EXHAUSTIVE, MODES, RunSettings, cost_of, run_cell
+from .harness import (
+    BUDGETED_CORPUS,
+    FAST_EXHAUSTIVE,
+    MODES,
+    RunSettings,
+    cost_of,
+    run_cell,
+    run_parallel_cell,
+)
 from .pathcount import PathFit, calibrate, collect_points, fit_points
 from .report import ascii_series, render_table, save_json
 
@@ -33,7 +42,9 @@ __all__ = [
     "fig9_dsm_vs_ssm",
     "fit_points",
     "incremental_ablation",
+    "parallel_scaling",
     "render_table",
     "run_cell",
+    "run_parallel_cell",
     "save_json",
 ]

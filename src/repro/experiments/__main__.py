@@ -27,6 +27,7 @@ from .figures import (
     fig7_alpha_sweep,
     fig8_coverage,
     fig9_dsm_vs_ssm,
+    parallel_scaling,
 )
 from .report import save_json
 
@@ -38,6 +39,7 @@ FIGURES = {
     "fig7": fig7_alpha_sweep,
     "fig8": fig8_coverage,
     "fig9": fig9_dsm_vs_ssm,
+    "parallel": parallel_scaling,
 }
 
 

@@ -53,8 +53,8 @@ class RunSettings:
     solver_incremental: bool = True
 
 
-def run_cell(settings: RunSettings) -> SymbolicRunResult:
-    """Execute one experiment cell."""
+def settings_to_spec_config(settings: RunSettings) -> tuple[ArgvSpec, EngineConfig]:
+    """Resolve one cell's settings into the engine-facing (spec, config)."""
     info = get_program(settings.program)
     spec = ArgvSpec(
         n_args=info.default_n if settings.n_args is None else settings.n_args,
@@ -80,7 +80,28 @@ def run_cell(settings: RunSettings) -> SymbolicRunResult:
         seed=settings.seed,
         solver_incremental=settings.solver_incremental,
     )
-    return run_symbolic_module(info.compile(), spec, config, program_name=settings.program)
+    return spec, config
+
+
+def run_cell(settings: RunSettings) -> SymbolicRunResult:
+    """Execute one experiment cell."""
+    spec, config = settings_to_spec_config(settings)
+    module = get_program(settings.program).compile()
+    return run_symbolic_module(module, spec, config, program_name=settings.program)
+
+
+def run_parallel_cell(settings: RunSettings, workers: int = 2, backend: str = "process"):
+    """Execute one cell through the parallel coordinator.
+
+    ``workers=1`` is the sequential special case (same code path, no
+    pool); the returned :class:`~repro.parallel.ParallelResult` carries
+    the per-participant stats ledger the scaling figure reads.
+    """
+    from ..parallel import Coordinator, ParallelConfig  # local import: avoid cycle
+
+    spec, config = settings_to_spec_config(settings)
+    parallel = ParallelConfig(workers=workers, backend=backend)
+    return Coordinator(settings.program, spec, config, parallel).run()
 
 
 def cost_of(result: SymbolicRunResult) -> int:

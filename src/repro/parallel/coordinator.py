@@ -1,0 +1,455 @@
+"""The coordinator: partition, dispatch, merge, rebalance.
+
+The run has three phases:
+
+1. **Split** — the coordinator explores sequentially (same engine, same
+   code path as any run) until the frontier holds enough states, then
+   exports the whole worklist as path-prefix partitions.  If exploration
+   finishes before the frontier ever reaches the target, the program was
+   small enough that the sequential answer *is* the answer — workers are
+   never spawned, and sequential mode is literally the degenerate case of
+   this code path.
+2. **Dispatch** — partitions go to a worker pool (process-based by
+   default, inline for deterministic testing) through the shared task
+   queue; workers self-serve, which load-balances the queued portion.
+   When the queue drains while some workers are still busy, the
+   coordinator sends steal requests and re-queues whatever frontier the
+   busy workers export (work stealing for intra-partition imbalance).
+3. **Merge** — per-partition results stream in (tests, coverage, path
+   counts); on shutdown each worker ships its full stats, and the
+   coordinator folds everything into one ledger whose additive fields
+   are exactly the sums of the per-participant entries
+   (:meth:`EngineStats.merge` / :meth:`SolverStats.merge`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+
+from ..engine.executor import Engine, EngineConfig
+from ..engine.stats import EngineStats
+from ..engine.testgen import TestSuite
+from ..env.argv import ArgvSpec
+from ..programs.registry import get_program
+from ..solver.portfolio import SolverStats
+from .partition import Partition
+from .wire import (
+    CMD_STEAL,
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_START,
+    MSG_STATS,
+    MSG_STOLEN,
+    TASK_PARTITION,
+    TASK_STOP,
+    encode_config,
+)
+from .worker import run_partition, worker_main
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs for one parallel exploration."""
+
+    workers: int = 2
+    # Split until the frontier holds workers * partition_factor states
+    # (more partitions than workers smooths the initial imbalance).
+    partition_factor: int = 4
+    # Give up splitting after this many blocks even if the frontier is
+    # small — skinny trees fork rarely and may never reach the target.
+    split_max_steps: int = 512
+    # 'process' forks real workers; 'inline' runs the same protocol
+    # round-robin in this process (deterministic, for tests and for
+    # environments without fork).
+    backend: str = "process"
+    steal: bool = True
+    poll_timeout: float = 0.5
+    join_timeout: float = 10.0
+
+
+# One ledger participant: (name, engine stats, solver stats).
+LedgerEntry = tuple[str, EngineStats, SolverStats]
+
+
+@dataclass
+class ParallelResult:
+    """Merged outcome of a partitioned exploration.
+
+    ``ledger`` lists every participant (the coordinator's split-phase
+    engine plus each worker); ``stats``/``solver_stats`` are their merge.
+    ``wall_time`` is end-to-end elapsed time — ``stats.wall_time`` is the
+    *summed* per-participant time (aggregate CPU seconds), which is the
+    quantity that stays comparable to a sequential run's cost.
+    """
+
+    program: str
+    spec: ArgvSpec
+    config: EngineConfig
+    parallel: ParallelConfig
+    stats: EngineStats
+    solver_stats: SolverStats
+    tests: TestSuite
+    covered: set
+    ledger: list[LedgerEntry]
+    partitions: int
+    steals: int
+    wall_time: float
+    # Sum of the per-partition path deltas streamed in MSG_DONE messages;
+    # cross-checked against the final stats ledger in check_ledger().
+    streamed_paths: int = 0
+
+    @property
+    def paths(self) -> int:
+        return self.stats.paths_completed
+
+    @property
+    def coverage_blocks(self) -> int:
+        return len(self.covered)
+
+    @property
+    def workers(self) -> int:
+        return self.parallel.workers
+
+    def check_ledger(self) -> None:
+        """Assert the stats-merge ledger invariants.
+
+        Every additive field of the merged stats must equal the sum over
+        participants — spot-checked here on the load-bearing counters —
+        and the solver's own accounting identity must survive the merge.
+        """
+        for fname in ("queries", "sat_answers", "unsat_answers", "timeouts",
+                      "cost_units", "sat_solver_runs", "clauses_forgotten"):
+            total = sum(getattr(entry[2], fname) for entry in self.ledger)
+            merged = getattr(self.solver_stats, fname)
+            if merged != total:
+                raise AssertionError(
+                    f"ledger violation: merged {fname}={merged} != sum {total}"
+                )
+        s = self.solver_stats
+        if s.queries != s.sat_answers + s.unsat_answers + s.timeouts:
+            raise AssertionError("ledger violation: queries != sat + unsat + timeouts")
+        for fname in ("paths_completed", "tests_generated", "errors_found",
+                      "blocks_executed", "forks", "states_terminated"):
+            total = sum(getattr(entry[1], fname) for entry in self.ledger)
+            merged = getattr(self.stats, fname)
+            if merged != total:
+                raise AssertionError(
+                    f"ledger violation: merged {fname}={merged} != sum {total}"
+                )
+        path_tests = sum(1 for c in self.tests.cases if c.kind == "path")
+        if self.stats.tests_generated != path_tests:
+            raise AssertionError(
+                f"ledger violation: tests_generated={self.stats.tests_generated} "
+                f"!= streamed path tests {path_tests}"
+            )
+        # Streamed per-partition results must agree with the final stats:
+        # every path beyond the coordinator's split phase was reported in
+        # exactly one MSG_DONE.
+        split_paths = self.ledger[0][1].paths_completed
+        if self.stats.paths_completed != split_paths + self.streamed_paths:
+            raise AssertionError(
+                f"ledger violation: paths_completed={self.stats.paths_completed} "
+                f"!= split {split_paths} + streamed {self.streamed_paths}"
+            )
+
+
+class Coordinator:
+    """Drives one partitioned exploration of one program."""
+
+    def __init__(
+        self,
+        program: str,
+        spec: ArgvSpec,
+        config: EngineConfig,
+        parallel: ParallelConfig | None = None,
+    ):
+        self.program = program
+        self.spec = spec
+        self.config = config
+        self.parallel = parallel or ParallelConfig()
+        if self.parallel.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.partitions_dispatched = 0
+        self.steals = 0
+        self._next_pid = 0
+
+    # -- public entry -----------------------------------------------------------
+
+    def run(self) -> ParallelResult:
+        start = time.perf_counter()
+        module = get_program(self.program).compile()
+        split_engine = Engine(module, self.spec, self.config)
+        split_engine.seed_states([split_engine.make_initial_state()])
+
+        par = self.parallel
+        if par.workers == 1:
+            # Sequential mode: the same loop, no split interrupt, no pool.
+            split_engine.explore()
+            return self._assemble(split_engine, [], [], set(), start)
+
+        target = par.workers * par.partition_factor
+        split_engine.explore(
+            interrupt=lambda eng: len(eng.worklist) >= target
+            or eng.stats.blocks_executed >= par.split_max_steps
+        )
+        frontier = split_engine.export_frontier(len(split_engine.worklist))
+        partitions = [self._new_partition(s, "split") for s in frontier]
+        if not partitions:
+            return self._assemble(split_engine, [], [], set(), start)
+
+        if par.backend == "inline":
+            entries, tests, covered, streamed = self._run_inline(module, partitions)
+        elif par.backend == "process":
+            entries, tests, covered, streamed = self._run_processes(partitions)
+        else:
+            raise ValueError(f"unknown backend {par.backend!r}")
+        return self._assemble(split_engine, entries, tests, covered, start, streamed)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _alloc_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        self.partitions_dispatched += 1
+        return pid
+
+    def _new_partition(self, state, origin: str) -> Partition:
+        return Partition.from_state(self._alloc_pid(), state, origin)
+
+    def _new_partition_from_blob(self, blob: bytes, origin: str) -> Partition:
+        return Partition.from_blob(self._alloc_pid(), blob, origin)
+
+    def _assemble(
+        self,
+        split_engine: Engine,
+        worker_entries: list[LedgerEntry],
+        worker_tests: list,
+        worker_covered: set,
+        start: float,
+        streamed_paths: int = 0,
+    ) -> ParallelResult:
+        split_engine._sync_solver_stats()
+        ledger: list[LedgerEntry] = [
+            ("coordinator", split_engine.stats, split_engine.solver.stats)
+        ]
+        ledger.extend(worker_entries)
+        tests = TestSuite(self.spec, cases=list(split_engine.tests.cases) + worker_tests)
+        covered = set(split_engine.coverage.covered) | worker_covered
+        return ParallelResult(
+            program=self.program,
+            spec=self.spec,
+            config=self.config,
+            parallel=self.parallel,
+            stats=EngineStats.merged(entry[1] for entry in ledger),
+            solver_stats=SolverStats.merged(entry[2] for entry in ledger),
+            tests=tests,
+            covered=covered,
+            ledger=ledger,
+            partitions=self.partitions_dispatched,
+            steals=self.steals,
+            wall_time=time.perf_counter() - start,
+            streamed_paths=streamed_paths,
+        )
+
+    # -- inline backend -----------------------------------------------------------
+
+    def _run_inline(self, module, partitions: list[Partition]):
+        """Round-robin the partition protocol over in-process engines.
+
+        Exercises the exact same snapshot/seed/explore/merge machinery as
+        the process backend, minus the IPC — deterministic and
+        fork-free, so it doubles as the reference for differential tests.
+        """
+        par = self.parallel
+        engines = [Engine(module, self.spec, self.config) for _ in range(par.workers)]
+        tests: list = []
+        covered: set = set()
+        streamed_paths = 0
+        tasks = list(partitions)
+        for engine in engines:
+            engine.stats.states_created = 0
+        for i, part in enumerate(tasks):
+            engine = engines[i % len(engines)]
+            state = part.restore(engine._fresh_sid())
+            new_tests, new_cov, paths = run_partition(engine, state, None, None, 0)
+            tests.extend(new_tests)
+            covered |= new_cov
+            streamed_paths += paths
+        entries: list[LedgerEntry] = []
+        for i, engine in enumerate(engines):
+            engine._sync_solver_stats()
+            entries.append((f"worker-{i}", engine.stats, engine.solver.stats))
+        return entries, tests, covered, streamed_paths
+
+    # -- process backend -----------------------------------------------------------
+
+    def _run_processes(self, partitions: list[Partition]):
+        par = self.parallel
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+        cmd_qs = [ctx.Queue() for _ in range(par.workers)]
+        spec_payload = {
+            "n_args": self.spec.n_args,
+            "arg_len": self.spec.arg_len,
+            "prog_name": self.spec.prog_name,
+            "concrete_args": self.spec.concrete_args,
+            "stdin_len": self.spec.stdin_len,
+        }
+        config_payload = encode_config(self.config)
+        procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(wid, self.program, spec_payload, config_payload,
+                      task_q, result_q, cmd_qs[wid]),
+                daemon=True,
+            )
+            for wid in range(par.workers)
+        ]
+        for proc in procs:
+            proc.start()
+        try:
+            return self._event_loop(partitions, task_q, result_q, cmd_qs, procs)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=par.join_timeout)
+
+    def _event_loop(self, partitions, task_q, result_q, cmd_qs, procs):
+        par = self.parallel
+        tests: list = []
+        covered: set = set()
+        streamed_paths = 0
+        queued = 0  # dispatched, not yet picked up
+        running: dict[int, int] = {}  # wid -> pid being explored
+        steal_inflight: set[int] = set()
+        # Workers whose last steal reply was empty: their frontier is too
+        # thin to split, so don't ping them again until they make progress
+        # (start or finish a partition) — prevents a request/empty-reply
+        # storm against a worker grinding one deep linear path.
+        steal_dry: set[int] = set()
+        pending = 0  # partitions not yet done
+        for part in partitions:
+            task_q.put((TASK_PARTITION, part.pid, part.snapshot))
+            queued += 1
+            pending += 1
+
+        while pending > 0:
+            msg = self._next_message(result_q, procs)
+            kind = msg[0]
+            if kind == MSG_START:
+                _, wid, pid = msg
+                queued -= 1
+                running[wid] = pid
+                steal_dry.discard(wid)
+            elif kind == MSG_DONE:
+                _, wid, _pid, new_tests, new_cov, paths = msg
+                running.pop(wid, None)
+                steal_inflight.discard(wid)
+                steal_dry.discard(wid)
+                pending -= 1
+                tests.extend(new_tests)
+                covered |= new_cov
+                streamed_paths += paths
+            elif kind == MSG_STOLEN:
+                _, wid, blobs = msg
+                steal_inflight.discard(wid)
+                if blobs:
+                    self.steals += 1
+                else:
+                    steal_dry.add(wid)
+                for blob in blobs:
+                    part = self._new_partition_from_blob(blob, f"steal:{wid}")
+                    task_q.put((TASK_PARTITION, part.pid, part.snapshot))
+                    queued += 1
+                    pending += 1
+            elif kind == MSG_ERROR:
+                raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
+            # Rebalance: the queue is dry, someone is idle, someone is busy.
+            if par.steal and pending > 0 and queued == 0 and running:
+                idle = set(range(par.workers)) - set(running)
+                victims = [
+                    w for w in running
+                    if w not in steal_inflight and w not in steal_dry
+                ]
+                if idle and victims:
+                    victim = victims[0]
+                    # Tag the request with the partition it targets, so the
+                    # worker can discard it if it arrives late.
+                    cmd_qs[victim].put((CMD_STEAL, running[victim]))
+                    steal_inflight.add(victim)
+
+        # Drain: stop every worker and collect its final stats ledger.
+        for _ in procs:
+            task_q.put((TASK_STOP,))
+        entries_by_wid: dict[int, LedgerEntry] = {}
+        while len(entries_by_wid) < len(procs):
+            msg = self._next_message(result_q, procs)
+            if msg[0] == MSG_STATS:
+                _, wid, engine_stats, solver_stats = msg
+                entries_by_wid[wid] = (f"worker-{wid}", engine_stats, solver_stats)
+            elif msg[0] == MSG_ERROR:
+                raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
+            # Late MSG_STOLEN (always empty by now) and MSG_START/DONE
+            # cannot occur here: pending hit zero, so every partition was
+            # finished and acknowledged before the stop was sent.
+        entries = [entries_by_wid[wid] for wid in sorted(entries_by_wid)]
+        return entries, tests, covered, streamed_paths
+
+    def _next_message(self, result_q, procs):
+        while True:
+            try:
+                return result_q.get(timeout=self.parallel.poll_timeout)
+            except queue_mod.Empty:
+                dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
+                if dead:
+                    raise RuntimeError(
+                        f"parallel worker died (exitcode {dead[0].exitcode}) "
+                        "without reporting an error"
+                    ) from None
+
+
+def run_parallel(
+    program: str,
+    workers: int = 2,
+    n_args: int | None = None,
+    arg_len: int | None = None,
+    merging: str = "none",
+    similarity: str = "never",
+    strategy: str = "dfs",
+    parallel: ParallelConfig | None = None,
+    **engine_kwargs,
+) -> ParallelResult:
+    """Explore a corpus program across ``workers`` processes.
+
+    Mirrors :func:`repro.env.runner.run_symbolic`; ``workers=1`` runs the
+    identical code path sequentially (no pool, no partitioning).  When a
+    full :class:`ParallelConfig` is passed, its ``workers`` field wins.
+
+    Engine budgets (``max_steps``/``max_queries``/``time_budget``) apply
+    *per participant* — the coordinator's split phase and each worker
+    enforce them independently, so an N-worker run may spend up to N+1
+    times the sequential budget.  A tripped budget sets ``timed_out`` in
+    the merged stats; the affected worker finishes cleanly but leaves its
+    remaining frontier unexplored, exactly like a sequential run.
+    """
+    info = get_program(program)
+    spec = ArgvSpec(
+        n_args=info.default_n if n_args is None else n_args,
+        arg_len=info.default_l if arg_len is None else arg_len,
+        stdin_len=info.default_stdin,
+    )
+    config = EngineConfig(
+        merging=merging, similarity=similarity, strategy=strategy, **engine_kwargs
+    )
+    if parallel is None:
+        parallel = ParallelConfig(workers=workers)
+    coordinator = Coordinator(program, spec, config, parallel)
+    return coordinator.run()

@@ -1,0 +1,57 @@
+"""Path-prefix partitions of the symbolic search space.
+
+A :class:`Partition` is one unit of distributable work: a serialized
+:class:`~repro.engine.state.SymState` whose path condition is the
+*prefix* constraining the subtree it roots, plus bookkeeping about where
+it came from.  Partitions are produced two ways:
+
+* the coordinator's **split phase** — a bounded sequential exploration
+  whose frontier becomes the initial partition set;
+* **work stealing** — a busy worker exports part of its frontier, and
+  each exported state is re-wrapped as a fresh partition.
+
+Invariant (partition disjointness): at any instant, the path conditions
+of all outstanding partitions plus all worker-local worklist states
+describe pairwise-disjoint sets of concrete inputs.  Forking splits a
+state's input set, merging unions sets that were disjoint, and shipping
+a state moves it without changing its set — so the invariant is
+maintained by construction, and no path is ever explored twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.state import SymState
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One shippable subtree of the path space."""
+
+    pid: int
+    snapshot: bytes
+    # Provenance: "split" for the coordinator's initial frontier,
+    # "steal:<worker_id>" for states exported by a busy worker.
+    origin: str
+    # |pc| of the serialized state — the path-prefix depth, for
+    # diagnostics.  -1 when wrapped from raw bytes (stolen frontier
+    # entries), where decoding the blob just for this would be waste.
+    prefix_len: int
+
+    @classmethod
+    def from_state(cls, pid: int, state: SymState, origin: str) -> "Partition":
+        return cls(
+            pid=pid, snapshot=state.snapshot(), origin=origin, prefix_len=len(state.pc)
+        )
+
+    @classmethod
+    def from_blob(cls, pid: int, snapshot: bytes, origin: str) -> "Partition":
+        """Wrap already-serialized state bytes (a stolen frontier entry).
+
+        The blob is forwarded verbatim — never decoded on the coordinator.
+        """
+        return cls(pid=pid, snapshot=snapshot, origin=origin, prefix_len=-1)
+
+    def restore(self, sid: int) -> SymState:
+        return SymState.from_snapshot(self.snapshot, sid)

@@ -1,0 +1,64 @@
+"""IPC wire protocol between the coordinator and its workers.
+
+Everything crossing a process boundary is plain picklable data: snapshot
+bytes (:meth:`SymState.snapshot`), :class:`TestCase` tuples, stats
+dataclasses of numbers, and the config payloads below.  Messages are
+tagged tuples; the tag vocabulary is:
+
+Coordinator -> worker (task queue):
+    (TASK_PARTITION, partition_id, snapshot_bytes)
+    (TASK_STOP,)
+
+Coordinator -> worker (command queue, out of band):
+    (CMD_STEAL, partition_id) — export part of your frontier at the next
+    boundary; the tag lets a worker discard requests that arrive after
+    the targeted partition already finished.
+
+Worker -> coordinator (result queue):
+    (MSG_START, worker_id, partition_id)            — began a partition
+    (MSG_DONE, worker_id, partition_id, tests, covered, paths)
+    (MSG_STOLEN, worker_id, [snapshot_bytes, ...])  — may be empty
+    (MSG_STATS, worker_id, EngineStats, SolverStats) — final, pre-exit
+    (MSG_ERROR, worker_id, traceback_text)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..engine.executor import EngineConfig
+from ..expr.serialize import decode_exprs, encode_exprs
+from ..qce.qce import QceParams
+
+TASK_PARTITION = "part"
+TASK_STOP = "stop"
+
+CMD_STEAL = "steal"
+
+MSG_START = "start"
+MSG_DONE = "done"
+MSG_STOLEN = "stolen"
+MSG_STATS = "stats"
+MSG_ERROR = "error"
+
+
+def encode_config(config: EngineConfig) -> dict:
+    """Flatten an :class:`EngineConfig` to picklable data.
+
+    The ``preconditions`` tuple holds interned expressions, which cannot
+    cross process boundaries directly; they ride the expression codec.
+    """
+    payload = {f.name: getattr(config, f.name) for f in dataclasses.fields(config)}
+    payload["qce_params"] = dataclasses.asdict(config.qce_params)
+    nodes, roots = encode_exprs(list(payload.pop("preconditions")))
+    payload["preconditions_encoded"] = (nodes, roots)
+    return payload
+
+
+def decode_config(payload: dict) -> EngineConfig:
+    fields = dict(payload)
+    fields["qce_params"] = QceParams(**fields["qce_params"])
+    nodes, roots = fields.pop("preconditions_encoded")
+    decoded = decode_exprs(nodes)
+    fields["preconditions"] = tuple(decoded[i] for i in roots)
+    return EngineConfig(**fields)

@@ -1,0 +1,135 @@
+"""The worker side of the parallel subsystem.
+
+Each worker process owns a full :class:`~repro.engine.executor.Engine`
+(with its own :class:`~repro.solver.portfolio.IncrementalChain`, so
+blasting and clause learning amortize across every partition the worker
+explores) and loops over the shared task queue: restore a partition's
+snapshot, seed it, explore until the frontier drains.  A steal request on
+the out-of-band command queue interrupts exploration at the next
+partition-boundary hook; the worker exports roughly half its frontier and
+resumes on the rest.
+
+Per-partition results (new tests, newly covered blocks, completed paths)
+stream back as they finish; the engine's full stats ledger is sent once,
+on shutdown, so the coordinator can merge exact per-worker counters.
+"""
+
+from __future__ import annotations
+
+import queue
+import traceback
+
+from ..engine.executor import Engine
+from ..engine.state import SymState
+from ..env.argv import ArgvSpec
+from ..programs.registry import get_program
+from .wire import (
+    CMD_STEAL,
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_START,
+    MSG_STATS,
+    MSG_STOLEN,
+    TASK_PARTITION,
+    TASK_STOP,
+    decode_config,
+)
+
+# How many engine steps pass between polls of the command queue.  Polling
+# is a syscall; the engine step is the expensive unit, so a small stride
+# keeps steal latency low without measurable overhead.
+STEAL_POLL_STRIDE = 16
+
+
+def _make_interrupt(cmd_q, pid: int):
+    """Partition-boundary hook: True when a steal request is pending.
+
+    Steal requests are tagged with the partition they target; a stale
+    request aimed at an already-finished partition (it can sit in the
+    command queue while the worker idles) is consumed and ignored rather
+    than spuriously splitting the next partition's fresh frontier.
+    """
+    countdown = STEAL_POLL_STRIDE
+
+    def check(_engine) -> bool:
+        nonlocal countdown
+        countdown -= 1
+        if countdown > 0:
+            return False
+        countdown = STEAL_POLL_STRIDE
+        try:
+            msg = cmd_q.get_nowait()
+        except queue.Empty:
+            return False
+        return bool(msg) and msg[0] == CMD_STEAL and msg[1] == pid
+
+    return check
+
+
+def run_partition(
+    engine: Engine, state: SymState, cmd_q, result_q, worker_id: int, pid: int = -1
+):
+    """Explore one partition to exhaustion, honouring steal requests.
+
+    Returns (new_tests, new_coverage, paths_delta) for the done message.
+    """
+    tests_before = len(engine.tests.cases)
+    covered_before = set(engine.coverage.covered)
+    paths_before = engine.stats.paths_completed
+    engine.seed_states([state])
+    interrupt = _make_interrupt(cmd_q, pid) if cmd_q is not None else None
+    # Budgets (max_steps/max_queries/time_budget) are cumulative per
+    # worker: once tripped — on this partition or an earlier one — the
+    # worker stops exploring, mirroring what a sequential run does when
+    # its budget dies mid-worklist.  The merged stats carry timed_out.
+    while engine.worklist and not engine.stats.timed_out:
+        engine.explore(interrupt=interrupt)
+        if engine.interrupted:
+            # A consumed steal request is always answered (possibly with
+            # nothing), so the coordinator's accounting stays exact.
+            # Keep at least one state locally: the thief gets the far
+            # frontier, we keep making progress on the near one.
+            exported = engine.export_frontier(len(engine.worklist) // 2)
+            result_q.put((MSG_STOLEN, worker_id, [s.snapshot() for s in exported]))
+    new_tests = list(engine.tests.cases[tests_before:])
+    new_cov = engine.coverage.covered - covered_before
+    return new_tests, new_cov, engine.stats.paths_completed - paths_before
+
+
+def worker_main(
+    worker_id: int,
+    program: str,
+    spec_payload: dict,
+    config_payload: dict,
+    task_q,
+    result_q,
+    cmd_q,
+) -> None:
+    """Process entry point (also runnable inline for the 1-process backend)."""
+    try:
+        module = get_program(program).compile()
+        spec = ArgvSpec(**spec_payload)
+        config = decode_config(config_payload)
+        engine = Engine(module, spec, config)
+        # Seeded states are transferred from the coordinator's ledger, not
+        # created here; start this worker's creation counter at zero so
+        # per-worker stats sum exactly to the merged ledger.
+        engine.stats.states_created = 0
+        while True:
+            msg = task_q.get()
+            if msg[0] == TASK_STOP:
+                engine._sync_solver_stats()
+                result_q.put((MSG_STATS, worker_id, engine.stats, engine.solver.stats))
+                return
+            if msg[0] != TASK_PARTITION:
+                raise ValueError(f"unknown task {msg[0]!r}")
+            pid, blob = msg[1], msg[2]
+            result_q.put((MSG_START, worker_id, pid))
+            state = SymState.from_snapshot(blob, engine._fresh_sid())
+            new_tests, new_cov, paths = run_partition(
+                engine, state, cmd_q, result_q, worker_id, pid=pid
+            )
+            result_q.put((MSG_DONE, worker_id, pid, new_tests, new_cov, paths))
+    except BaseException:  # noqa: BLE001 — ship the traceback, then die
+        result_q.put((MSG_ERROR, worker_id, traceback.format_exc()))
+        raise

@@ -79,3 +79,19 @@ class DsmStrategy(Strategy):
                 engine.stats.dsm_fastforward_states += 1
             return best
         return self.driving.pick(worklist, engine)
+
+    def steal_pick(self, worklist, engine) -> int:
+        """Prefer exporting states *outside* the forwarding set.
+
+        A forwarded state is expected to merge with a local peer shortly;
+        shipping it to another worker would forfeit that merge (merging is
+        partition-local by design).  Ties fall back to the driving
+        strategy's victim choice among non-forwarding states.
+        """
+        non_forwarding = [
+            i for i, state in enumerate(worklist) if not self._in_forwarding_set(state)
+        ]
+        if not non_forwarding:
+            return self.driving.steal_pick(worklist, engine)
+        sub = [worklist[i] for i in non_forwarding]
+        return non_forwarding[self.driving.steal_pick(sub, engine)]

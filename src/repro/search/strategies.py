@@ -23,6 +23,17 @@ class Strategy:
     def pick(self, worklist: list[SymState], engine) -> int:
         raise NotImplementedError
 
+    def steal_pick(self, worklist: list[SymState], engine) -> int:
+        """Index of the state to hand to a work-stealing peer.
+
+        The default exports the *oldest* worklist entry, which suits
+        LIFO-style strategies: under DFS that is the root of the largest
+        still-pending subtree, exactly what a thief wants.  Strategies
+        whose far frontier lives elsewhere (BFS explores FIFO, so its
+        oldest entry is the *next* pick) override this.
+        """
+        return 0
+
     def on_add(self, state: SymState) -> None:
         pass
 
@@ -42,6 +53,11 @@ class BfsStrategy(Strategy):
 
     def pick(self, worklist, engine) -> int:
         return 0
+
+    def steal_pick(self, worklist, engine) -> int:
+        # FIFO exploration: index 0 is the *next* pick, so the far
+        # frontier — what a thief should take — is the newest entry.
+        return len(worklist) - 1
 
 
 class RandomStrategy(Strategy):
@@ -104,6 +120,18 @@ class TopologicalStrategy(Strategy):
                 best_key = key
                 best_idx = i
         return best_idx
+
+    def steal_pick(self, worklist, engine) -> int:
+        # Export the topologically *last* state: it is the farthest from
+        # any pending join, so removing it perturbs merging the least.
+        worst_idx = 0
+        worst_key = None
+        for i, state in enumerate(worklist):
+            key = topological_key(state, engine)
+            if worst_key is None or key > worst_key:
+                worst_key = key
+                worst_idx = i
+        return worst_idx
 
 
 def topological_key(state: SymState, engine) -> tuple:

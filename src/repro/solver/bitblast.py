@@ -29,8 +29,8 @@ class BitBlaster:
     CDCL core learned about it) serves many queries.
     """
 
-    def __init__(self) -> None:
-        self.sat = CDCLSolver()
+    def __init__(self, max_learned: int | None = 4000) -> None:
+        self.sat = CDCLSolver(max_learned=max_learned)
         self.true_lit = self.sat.new_var()
         self.sat.add_clause([self.true_lit])
         self._bool_cache: dict[int, int] = {}

@@ -69,6 +69,7 @@ class SolverStats:
     assumption_probes: int = 0
     incremental_reuses: int = 0
     clauses_retained: int = 0
+    clauses_forgotten: int = 0
     blasters_created: int = 0
     blasters_reset: int = 0
     branch_batches: int = 0
@@ -76,6 +77,26 @@ class SolverStats:
 
     def snapshot(self) -> dict[str, float]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Fold ``other`` into this ledger entry (all fields are additive).
+
+        The merge law the parallel coordinator relies on: merging the
+        per-worker stats must equal the stats of one chain that answered
+        every worker's queries — every field here is a pure event counter
+        (or a duration), so component-wise addition is exact and the
+        operation is associative and commutative.
+        """
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    @classmethod
+    def merged(cls, parts) -> "SolverStats":
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
 
 @dataclass
@@ -104,6 +125,12 @@ class SolverChain:
     use_fastpath: bool = True
     use_independence: bool = True
     conflict_budget: int | None = 200_000
+    # Learned-clause cap handed to every CDCL core this chain creates;
+    # past it the least-active half is forgotten at a restart (None
+    # disables forgetting).  Matters most for the incremental chain's
+    # long-lived blasters, which would otherwise accumulate learned
+    # clauses for the whole worker lifetime.
+    sat_max_learned: int | None = 4000
     cache: QueryCache = field(default_factory=QueryCache)
     stats: SolverStats = field(default_factory=SolverStats)
 
@@ -218,7 +245,7 @@ class SolverChain:
             self.cache.store(group, is_sat, model)
 
     def _check_sat(self, group: list[Expr]) -> CheckResult:
-        blaster = BitBlaster()
+        blaster = BitBlaster(max_learned=self.sat_max_learned)
         for c in group:
             blaster.assert_expr(c)
         self.stats.sat_solver_runs += 1
@@ -239,6 +266,7 @@ class SolverChain:
         self.stats.sat_decisions += sat.stats_decisions
         self.stats.sat_conflicts += sat.stats_conflicts
         self.stats.sat_propagations += sat.stats_propagations
+        self.stats.clauses_forgotten += sat.stats_forgotten
         self.stats.cost_units += sat.stats_decisions + sat.stats_conflicts
 
     # -- convenience API used by the engine ------------------------------------
@@ -266,13 +294,20 @@ class _PersistentBlaster:
     the underlying solver statistics are cumulative across queries.
     """
 
-    __slots__ = ("blaster", "seen_decisions", "seen_conflicts", "seen_propagations")
+    __slots__ = (
+        "blaster",
+        "seen_decisions",
+        "seen_conflicts",
+        "seen_propagations",
+        "seen_forgotten",
+    )
 
-    def __init__(self) -> None:
-        self.blaster = BitBlaster()
+    def __init__(self, max_learned: int | None = 4000) -> None:
+        self.blaster = BitBlaster(max_learned=max_learned)
         self.seen_decisions = 0
         self.seen_conflicts = 0
         self.seen_propagations = 0
+        self.seen_forgotten = 0
 
 
 @dataclass
@@ -348,7 +383,7 @@ class IncrementalChain(SolverChain):
             self.stats.blasters_reset += 1
             entry = None
         if entry is None:
-            entry = _PersistentBlaster()
+            entry = _PersistentBlaster(max_learned=self.sat_max_learned)
             self._blasters[sig] = entry
             self.stats.blasters_created += 1
             self.stats.sat_solver_runs += 1  # a full (re-)blast
@@ -381,12 +416,15 @@ class IncrementalChain(SolverChain):
         d_dec = sat.stats_decisions - entry.seen_decisions
         d_con = sat.stats_conflicts - entry.seen_conflicts
         d_prop = sat.stats_propagations - entry.seen_propagations
+        d_forgot = sat.stats_forgotten - entry.seen_forgotten
         entry.seen_decisions = sat.stats_decisions
         entry.seen_conflicts = sat.stats_conflicts
         entry.seen_propagations = sat.stats_propagations
+        entry.seen_forgotten = sat.stats_forgotten
         self.stats.sat_decisions += d_dec
         self.stats.sat_conflicts += d_con
         self.stats.sat_propagations += d_prop
+        self.stats.clauses_forgotten += d_forgot
         self.stats.cost_units += d_dec + d_con
 
 

@@ -55,7 +55,7 @@ class CDCLSolver:
         assert s.value(b) is True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_learned: int | None = 4000) -> None:
         self.num_vars = 0
         self.clauses: list[list[int]] = []
         self.watches: dict[int, list[int]] = {}
@@ -70,6 +70,17 @@ class CDCLSolver:
         self.var_inc = 1.0
         self.var_decay = 0.95
         self.ok = True
+        # Clause-database reduction: learned clauses carry an activity
+        # (bumped when used in conflict analysis); once their count passes
+        # ``max_learned`` the least active half is forgotten at the next
+        # restart.  ``None`` disables forgetting.
+        self.clause_learnt: list[bool] = []
+        self.clause_act: list[float] = []
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.num_learned = 0
+        self.max_learned = max_learned
+        self.reduce_growth = 1.2
         # Statistics (exposed via repro.solver stats; used as the
         # deterministic "solver cost" metric in experiments).
         self.stats_decisions = 0
@@ -77,6 +88,8 @@ class CDCLSolver:
         self.stats_conflicts = 0
         self.stats_learned = 0
         self.stats_restarts = 0
+        self.stats_forgotten = 0
+        self.stats_reductions = 0
 
     # -- problem construction ------------------------------------------------
 
@@ -129,11 +142,19 @@ class CDCLSolver:
                 self.ok = False
                 return False
             return True
-        idx = len(self.clauses)
-        self.clauses.append(out)
-        self.watches[out[0]].append(idx)
-        self.watches[out[1]].append(idx)
+        self._attach_clause(out, learnt=False)
         return True
+
+    def _attach_clause(self, lits: list[int], learnt: bool) -> int:
+        idx = len(self.clauses)
+        self.clauses.append(lits)
+        self.clause_learnt.append(learnt)
+        self.clause_act.append(self.cla_inc if learnt else 0.0)
+        if learnt:
+            self.num_learned += 1
+        self.watches[lits[0]].append(idx)
+        self.watches[lits[1]].append(idx)
+        return idx
 
     # -- assignment helpers ---------------------------------------------------
 
@@ -212,6 +233,15 @@ class CDCLSolver:
                 self.activity[v] *= 1e-100
             self.var_inc *= 1e-100
 
+    def _cla_bump(self, ci: int) -> None:
+        if not self.clause_learnt[ci]:
+            return
+        self.clause_act[ci] += self.cla_inc
+        if self.clause_act[ci] > 1e20:
+            for i in range(len(self.clause_act)):
+                self.clause_act[i] *= 1e-20
+            self.cla_inc *= 1e-20
+
     def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """First-UIP conflict analysis.
 
@@ -222,6 +252,7 @@ class CDCLSolver:
         learned: list[int] = []
         counter = 0
         lit = None
+        self._cla_bump(conflict)
         clause = self.clauses[conflict]
         idx = len(self.trail) - 1
         while True:
@@ -245,7 +276,9 @@ class CDCLSolver:
             if counter == 0:
                 learned.insert(0, -lit)
                 break
-            clause = self.clauses[self.reason[var]]
+            reason_ci = self.reason[var]
+            self._cla_bump(reason_ci)
+            clause = self.clauses[reason_ci]
         if len(learned) == 1:
             return learned, 0
         # Backjump to the second-highest level in the clause.
@@ -266,6 +299,71 @@ class CDCLSolver:
                 self.assign[var] = UNASSIGNED
                 self.reason[var] = None
         self.prop_head = min(self.prop_head, len(self.trail))
+
+    # -- clause-database reduction --------------------------------------------
+
+    def _maybe_reduce(self) -> None:
+        if self.max_learned is not None and self.num_learned > self.max_learned:
+            self.reduce_db()
+            # Geometric growth: each reduction earns a bigger database, so
+            # a long-lived solver converges instead of thrashing.
+            self.max_learned = int(self.max_learned * self.reduce_growth) + 1
+
+    def reduce_db(self) -> int:
+        """Forget the least-active half of the learned clauses.
+
+        Only valid at root level (``trail_lim`` empty): the sole clause
+        references alive there are the reasons of root-level assignments,
+        which are locked and kept.  Deleting any learned clause is sound —
+        each is a consequence of the original formula — it only costs the
+        solver re-deriving it.  Binary learned clauses are kept (cheap to
+        store, expensive to relearn).  Returns the number forgotten.
+        """
+        if self.trail_lim:
+            raise RuntimeError("reduce_db requires root level")
+        locked = {
+            ci for ci in (self.reason[abs(lit)] for lit in self.trail) if ci is not None
+        }
+        candidates = [
+            ci
+            for ci in range(len(self.clauses))
+            if self.clause_learnt[ci] and ci not in locked and len(self.clauses[ci]) > 2
+        ]
+        candidates.sort(key=lambda ci: self.clause_act[ci])
+        doomed = set(candidates[: len(candidates) // 2])
+        if not doomed:
+            return 0
+        mapping: dict[int, int] = {}
+        clauses: list[list[int]] = []
+        learnt: list[bool] = []
+        act: list[float] = []
+        for ci, clause in enumerate(self.clauses):
+            if ci in doomed:
+                continue
+            mapping[ci] = len(clauses)
+            clauses.append(clause)
+            learnt.append(self.clause_learnt[ci])
+            act.append(self.clause_act[ci])
+        self.clauses = clauses
+        self.clause_learnt = learnt
+        self.clause_act = act
+        # Watched literals live at positions 0/1 of every clause (the
+        # propagation loop maintains that), so rebuilding the watch lists
+        # from those positions reproduces the watch structure exactly.
+        for key in self.watches:
+            self.watches[key].clear()
+        for nc, clause in enumerate(clauses):
+            self.watches[clause[0]].append(nc)
+            self.watches[clause[1]].append(nc)
+        for v in range(1, self.num_vars + 1):
+            r = self.reason[v]
+            if r is not None:
+                self.reason[v] = mapping[r]
+        forgotten = len(doomed)
+        self.num_learned -= forgotten
+        self.stats_forgotten += forgotten
+        self.stats_reductions += 1
+        return forgotten
 
     # -- decisions -----------------------------------------------------------
 
@@ -304,6 +402,7 @@ class CDCLSolver:
         if conflict is not None:
             self.ok = False
             return SatResult.UNSAT
+        self._maybe_reduce()
         assumed = list(assumptions) if assumptions else []
         restart_num = 1
         conflicts_until_restart = 100 * luby(restart_num)
@@ -329,19 +428,23 @@ class CDCLSolver:
                 if len(learned) == 1:
                     self._enqueue(learned[0], None)
                 else:
-                    idx = len(self.clauses)
-                    self.clauses.append(learned)
-                    self.watches[learned[0]].append(idx)
-                    self.watches[learned[1]].append(idx)
+                    idx = self._attach_clause(learned, learnt=True)
                     self.stats_learned += 1
                     self._enqueue(learned[0], idx)
                 self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
                 conflicts_until_restart -= 1
                 if conflicts_until_restart <= 0:
                     restart_num += 1
                     conflicts_until_restart = 100 * luby(restart_num)
                     self.stats_restarts += 1
                     self._backtrack(0)
+                    self._maybe_reduce()
+                elif self.max_learned is not None and self.num_learned > self.max_learned:
+                    # Cap tripped mid-search: force a (non-Luby) restart to
+                    # reach root level, where reduction is sound.
+                    self._backtrack(0)
+                    self._maybe_reduce()
             elif len(self.trail_lim) < len(assumed):
                 # Place the next assumption as a pseudo-decision.  A level
                 # is opened even when the literal already holds, keeping

@@ -1,0 +1,136 @@
+"""Clause-database reduction in the CDCL core (cap + activity forgetting).
+
+Learned clauses are consequences of the original formula, so forgetting
+any subset never changes verdicts — it only costs re-derivation.  These
+tests drive the solver through pigeonhole instances (guaranteed conflict
+volume) with aggressive caps and check verdicts, incremental reuse, and
+the ``clauses_forgotten`` accounting up through the solver chain.
+"""
+
+import pytest
+
+from repro.expr import ops
+from repro.solver.portfolio import IncrementalChain, SolverChain
+from repro.solver.sat import CDCLSolver, SatResult
+
+
+def add_pigeonhole(solver: CDCLSolver, pigeons: int, holes: int):
+    """PHP(p, h): p pigeons into h holes; UNSAT iff p > h."""
+    v = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for i in range(pigeons):
+        solver.add_clause([v[i][j] for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                solver.add_clause([-v[i1][j], -v[i2][j]])
+    return v
+
+
+def test_reduction_preserves_unsat_verdict():
+    capped = CDCLSolver(max_learned=30)
+    add_pigeonhole(capped, 8, 7)
+    assert capped.solve() == SatResult.UNSAT
+    assert capped.stats_forgotten > 0
+    assert capped.stats_reductions > 0
+
+    uncapped = CDCLSolver(max_learned=None)
+    add_pigeonhole(uncapped, 8, 7)
+    assert uncapped.solve() == SatResult.UNSAT
+    assert uncapped.stats_forgotten == 0
+
+
+def test_reduction_preserves_sat_verdict_and_model():
+    capped = CDCLSolver(max_learned=20)
+    v = add_pigeonhole(capped, 7, 7)  # satisfiable: a perfect matching
+    assert capped.solve() == SatResult.SAT
+    # The model really is a matching: each pigeon in exactly >= 1 hole,
+    # no hole shared.
+    placement = [
+        [j for j in range(7) if capped.value(v[i][j])] for i in range(7)
+    ]
+    assert all(placement[i] for i in range(7))
+    used = [holes[0] for holes in placement]
+    assert len(set(used)) == 7
+
+
+def test_database_size_is_actually_bounded():
+    capped = CDCLSolver(max_learned=30)
+    add_pigeonhole(capped, 8, 7)
+    capped.solve()
+    # Retention identity: attached learned clauses minus forgotten ones.
+    assert capped.num_learned == capped.stats_learned - capped.stats_forgotten
+    assert capped.num_learned == sum(capped.clause_learnt)
+    # The live database is a small fraction of everything ever learned
+    # (binary learned clauses are retained by design and the cap grows
+    # geometrically, so it is not bounded by the initial 30).
+    assert capped.num_learned < capped.stats_learned // 2
+
+
+def test_reduction_keeps_incremental_solving_valid():
+    """Forgetting must not poison later solves or assumption probes."""
+    solver = CDCLSolver(max_learned=25)
+    add_pigeonhole(solver, 8, 7)
+    assert solver.solve(assumptions=[]) == SatResult.UNSAT
+    forgotten_once = solver.stats_forgotten
+    assert forgotten_once > 0
+    # The formula is root-UNSAT, so any further solve stays UNSAT.
+    assert solver.solve() == SatResult.UNSAT
+
+    # A satisfiable incremental instance: solve, reduce, re-probe.
+    solver2 = CDCLSolver(max_learned=25)
+    v2 = add_pigeonhole(solver2, 7, 7)
+    assert solver2.solve() == SatResult.SAT
+    # Pin pigeon 0 to hole 0 by assumption; still satisfiable.
+    assert solver2.solve(assumptions=[v2[0][0]]) == SatResult.SAT
+    # Pin two pigeons to the same hole; unsatisfiable under assumptions
+    # but the solver stays reusable.
+    assert solver2.solve(assumptions=[v2[0][0], v2[1][0]]) == SatResult.UNSAT
+    assert solver2.solve() == SatResult.SAT
+
+
+def test_reduce_db_requires_root_level():
+    solver = CDCLSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    solver.trail_lim.append(0)  # fake a decision level
+    with pytest.raises(RuntimeError):
+        solver.reduce_db()
+
+
+def test_locked_and_binary_clauses_survive():
+    solver = CDCLSolver(max_learned=0)
+    add_pigeonhole(solver, 6, 5)
+    assert solver.solve() == SatResult.UNSAT
+    # Everything forgettable was forgotten, yet no original clause went:
+    # originals are never learnt-flagged.
+    originals = sum(1 for flag in solver.clause_learnt if not flag)
+    assert originals == 6 + 5 * (6 * 5) // 2
+
+
+def _hole_exprs(n: int):
+    """Pigeonhole over boolean Exprs, for chain-level tests."""
+    pigeons, holes = n + 1, n
+    v = [[ops.bool_var(f"p{i}_{j}") for j in range(holes)] for i in range(pigeons)]
+    constraints = []
+    for i in range(pigeons):
+        acc = v[i][0]
+        for j in range(1, holes):
+            acc = ops.or_(acc, v[i][j])
+        constraints.append(acc)
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                constraints.append(ops.not_(ops.and_(v[i1][j], v[i2][j])))
+    return constraints
+
+
+@pytest.mark.parametrize("chain_cls", [SolverChain, IncrementalChain])
+def test_chain_surfaces_clauses_forgotten(chain_cls):
+    constraints = _hole_exprs(6)
+    chain = chain_cls(use_cache=False, use_fastpath=False, sat_max_learned=25)
+    result = chain.check(constraints)
+    assert not result.is_sat
+    assert chain.stats.clauses_forgotten > 0
+    # Ledger stays balanced alongside the new counter.
+    s = chain.stats
+    assert s.queries == s.sat_answers + s.unsat_answers + s.timeouts
