@@ -82,20 +82,37 @@ class EngineConfig:
     solver_fastpath: bool = True
     solver_incremental: bool = True
     preconditions: tuple[Expr, ...] = ()
+    # Persistent cross-run store (repro.store).  ``store_path`` names the
+    # SQLite file; the engine opens it as the single writer unless
+    # ``store_readonly`` (parallel workers: lookups local, inserts shipped
+    # to the coordinator).  ``warm_start`` seeds the in-memory query cache
+    # from the store's corpus models and UNSAT cores at construction.
+    store_path: str | None = None
+    store_readonly: bool = False
+    warm_start: bool = True
 
 
 class Engine:
     """Symbolic executor over a compiled module with a symbolic argv."""
 
-    def __init__(self, module: Module, spec: ArgvSpec, config: EngineConfig | None = None):
+    def __init__(
+        self,
+        module: Module,
+        spec: ArgvSpec,
+        config: EngineConfig | None = None,
+        store=None,
+        program: str | None = None,
+    ):
         self.module = module
         self.spec = spec
         self.config = config or EngineConfig()
+        self.program = program or "<module>"
         chain_cls = IncrementalChain if self.config.solver_incremental else SolverChain
         self.solver = chain_cls(
             use_cache=self.config.solver_cache, use_fastpath=self.config.solver_fastpath
         )
         self.stats = EngineStats()
+        self._init_store(store)
         self.coverage = CoverageTracker()
         self.coverage.register_module(module)
         self.tests = TestSuite(spec)
@@ -127,6 +144,110 @@ class Engine:
             self.strategy = base
 
     # -- construction helpers ----------------------------------------------------
+
+    def _init_store(self, store) -> None:
+        """Attach the persistent store (repro.store), if configured.
+
+        An injected ``store`` wins over ``config.store_path``.  When a
+        store is present the solver chain gains a persistent cache tier,
+        and (unless ``warm_start`` is off) the in-memory query cache is
+        seeded with the corpus' models and stored UNSAT cores — verdict-
+        neutral evidence that lets this run answer queries without
+        re-solving what earlier runs already solved.
+        """
+        self.store = store
+        self._store_tier = None
+        self._store_committed = False
+        self._owns_store = False
+        if self.store is None and self.config.store_path:
+            from ..store import open_store  # local import: engine stays store-free otherwise
+
+            self.store = open_store(
+                self.config.store_path, readonly=self.config.store_readonly
+            )
+            self._owns_store = self.store is not None
+        if self.store is None and not self.config.store_path:
+            return
+        from ..store import PersistentTier, seed_query_cache
+
+        self._store_tier = PersistentTier(self.store, program=self.program)
+        self.solver.persistent = self._store_tier
+        if (
+            self.store is not None
+            and self.config.warm_start
+            and self.config.solver_cache
+        ):
+            models, cores = seed_query_cache(
+                self.store, self.solver.cache, self.program, self.spec
+            )
+            self.stats.warm_models_seeded = models
+            self.stats.warm_cores_seeded = cores
+
+    def commit_to_store(self) -> int | None:
+        """Single-writer commit of this run's artifacts; returns the run id.
+
+        No-op unless this engine owns a writable store.  Writes the run
+        metadata row, flushes the solver tier's buffered constraint
+        inserts and UNSAT cores, and records the generated tests (with
+        replayed coverage bitmaps) into the corpus.  Idempotent per run.
+        """
+        if (
+            self.store is None
+            or self.store.readonly
+            or self._store_tier is None
+            or self._store_committed
+        ):
+            return None
+        from ..store import record_tests, spec_fingerprint
+
+        self._store_committed = True
+        solver_stats = self.solver.stats
+        run_id = self.store.record_run(
+            self.program,
+            spec_fingerprint(self.spec),
+            mode=f"{self.config.merging}/{self.config.similarity}/{self.config.strategy}",
+            wall_time=self.stats.wall_time,
+            queries=solver_stats.queries,
+            sat_solver_runs=solver_stats.sat_solver_runs,
+            store_hits=solver_stats.store_hits,
+            cost_units=solver_stats.cost_units,
+            paths=self.stats.paths_completed,
+            tests=self.stats.tests_generated,
+            stats=self.stats.snapshot(),
+        )
+        self._store_tier.flush(run_id=run_id)
+        record_tests(
+            self.store, self.module, self.program, self.spec, self.tests.cases, run_id
+        )
+        self.close_store()
+        return run_id
+
+    def close_store(self) -> None:
+        """Release the store connection if this engine opened it.
+
+        Injected stores belong to their caller and are left open.  After
+        closing, the solver's persistent tier degrades to buffer-only
+        (every lookup misses) rather than touching a dead connection.
+        """
+        if self.store is None or not self._owns_store:
+            return
+        self.store.close()
+        self.store = None
+        self._owns_store = False
+        if self._store_tier is not None:
+            self._store_tier.store = None
+            self._store_tier.writable = False
+
+    def export_store_payload(self) -> dict | None:
+        """This engine's buffered store inserts, for a remote single writer.
+
+        The worker side of the parallel wire protocol: a read-only engine
+        cannot commit, so its tier's pending constraint rows and cores are
+        exported (and cleared) for the coordinator to apply.
+        """
+        if self._store_tier is None:
+            return None
+        return self._store_tier.export_pending()
 
     def _make_similarity(self):
         kind = self.config.similarity
@@ -251,7 +372,9 @@ class Engine:
     def run(self) -> EngineStats:
         """Explore until the worklist empties or a budget trips."""
         self.seed_states([self.make_initial_state()])
-        return self.explore()
+        stats = self.explore()
+        self.commit_to_store()
+        return stats
 
     def seed_states(self, states: list[SymState]) -> None:
         """Add externally produced states (initial or restored partitions).
@@ -298,6 +421,12 @@ class Engine:
         self.stats.solver_incremental_reuses = solver_stats.incremental_reuses
         self.stats.solver_clauses_retained = solver_stats.clauses_retained
         self.stats.solver_clauses_forgotten = solver_stats.clauses_forgotten
+        self.stats.solver_cache_hits = solver_stats.cache_hits
+        self.stats.solver_cache_misses = solver_stats.cache_misses
+        self.stats.solver_store_hits = solver_stats.store_hits
+        self.stats.solver_store_misses = solver_stats.store_misses
+        self.stats.solver_store_inserts = solver_stats.store_inserts
+        self.stats.solver_unsat_cores = solver_stats.unsat_cores
 
     def export_frontier(self, max_states: int) -> list[SymState]:
         """Remove and return up to ``max_states`` worklist states.
@@ -689,6 +818,7 @@ class Engine:
             if case is not None:
                 self.tests.add(case)
         elif model is not None:
+            from ..expr.canon import named_key
             from ..solver.portfolio import complete_model
 
             full = complete_model(model, self.spec.input_variables())
@@ -696,8 +826,10 @@ class Engine:
             items = tuple(
                 sorted((k, v) for k, v in full.items() if k.startswith(("arg", "stdin")))
             )
+            pc = error_pc if error_pc is not None else list(state.pc)
             self.tests.add(TestCase(kind=kind, argv=argv, model=items, line=line,
-                                    stdin=self.spec.decode_stdin(full)))
+                                    stdin=self.spec.decode_stdin(full),
+                                    path_id=named_key(pc)))
         else:
             case = make_test_case(self.solver, self.spec, state.pc, kind, line=line)
             if case is not None:

@@ -51,6 +51,17 @@ class EngineStats:
     solver_incremental_reuses: int = 0
     solver_clauses_retained: int = 0
     solver_clauses_forgotten: int = 0
+    # Cache/store effectiveness mirrors (query-cache tiers and the
+    # persistent repro.store tier) — previously invisible outside the chain.
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
+    solver_store_hits: int = 0
+    solver_store_misses: int = 0
+    solver_store_inserts: int = 0
+    solver_unsat_cores: int = 0
+    # Warm-start seeding volume (0 on cold runs / without a store).
+    warm_models_seeded: int = 0
+    warm_cores_seeded: int = 0
 
     # Fields that do not merge by addition: maxima stay maxima across
     # workers, ``timed_out`` is an any-of, and these are handled explicitly

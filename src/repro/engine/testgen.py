@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..env.argv import ArgvSpec
+from ..expr.canon import named_key
 from ..solver.portfolio import SolverChain, complete_model
 
 
@@ -39,6 +40,10 @@ class TestCase:
     line: int | None = None
     multiplicity: int = 1
     stdin: bytes = b""
+    # α-canonical key of the path condition that produced this test (see
+    # repro.expr.canon): a stable cross-process path-prefix identity, used
+    # by the persistent test corpus to deduplicate across runs.
+    path_id: str = ""
 
     def model_dict(self) -> dict[str, int]:
         return dict(self.model)
@@ -111,4 +116,5 @@ def make_test_case(
         line=line,
         multiplicity=multiplicity,
         stdin=spec.decode_stdin(full),
+        path_id=named_key(list(pc)),
     )

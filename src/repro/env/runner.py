@@ -53,7 +53,7 @@ def run_symbolic_module(
     config: EngineConfig | None = None,
     program_name: str = "<module>",
 ) -> SymbolicRunResult:
-    engine = Engine(module, spec, config)
+    engine = Engine(module, spec, config, program=program_name)
     stats = engine.run()
     return SymbolicRunResult(
         program=program_name,

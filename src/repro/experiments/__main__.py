@@ -20,6 +20,7 @@ import time
 from pathlib import Path
 
 from .figures import (
+    cache_report,
     fig3_multiplicity,
     fig4_path_ratio,
     fig5_speedup_curve,
@@ -28,6 +29,7 @@ from .figures import (
     fig8_coverage,
     fig9_dsm_vs_ssm,
     parallel_scaling,
+    warm_start,
 )
 from .report import save_json
 
@@ -40,6 +42,8 @@ FIGURES = {
     "fig8": fig8_coverage,
     "fig9": fig9_dsm_vs_ssm,
     "parallel": parallel_scaling,
+    "warm": warm_start,
+    "cache": cache_report,
 }
 
 

@@ -12,6 +12,8 @@ Paper-vs-measured notes live in EXPERIMENTS.md; the benchmarks under
 from __future__ import annotations
 
 import math
+import os
+import tempfile
 from dataclasses import dataclass, field
 
 from .harness import (
@@ -581,6 +583,224 @@ class ParallelScalingResult:
         if not total:
             return 1.0
         return sum(r.speedup_critical * r.t_seq for r in self.rows) / total
+
+
+def _test_multiset(cases):
+    return sorted((c.kind, c.argv, c.model, c.line, c.stdin) for c in cases)
+
+
+# ---------------------------------------------------------------------------
+# Warm start — cold vs. warm runs against one persistent store (repro.store)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WarmRow:
+    program: str
+    paths: int
+    tests: int
+    sat_runs_cold: int
+    sat_runs_warm: int
+    cost_cold: int
+    cost_warm: int
+    store_hits_warm: int
+    warm_models: int
+    warm_cores: int
+    t_cold: float
+    t_warm: float
+
+
+@dataclass
+class WarmStartResult:
+    store_path: str
+    rows: list[WarmRow] = field(default_factory=list)
+    store_counts: dict = field(default_factory=dict)
+
+    def table(self) -> str:
+        data = [
+            [
+                r.program,
+                r.paths,
+                r.tests,
+                r.sat_runs_cold,
+                r.sat_runs_warm,
+                r.cost_cold,
+                r.cost_warm,
+                r.store_hits_warm,
+                r.warm_models + r.warm_cores,
+                round(r.t_cold, 2),
+                round(r.t_warm, 2),
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "paths", "tests", "blasts(cold)", "blasts(warm)",
+             "cost(cold)", "cost(warm)", "store hits", "seeds",
+             "t_cold(s)", "t_warm(s)"],
+            data,
+            title=(
+                "Warm start — second run against a populated store "
+                f"(store: {self.store_counts}; expect blasts(warm) < blasts(cold) "
+                "with identical tests and coverage)"
+            ),
+        )
+
+    def blast_reduction(self) -> float:
+        """Aggregate warm/cold full-blast ratio (lower = better)."""
+        cold = sum(r.sat_runs_cold for r in self.rows)
+        warm = sum(r.sat_runs_warm for r in self.rows)
+        return warm / cold if cold else 1.0
+
+    def cost_reduction(self) -> float:
+        cold = sum(r.cost_cold for r in self.rows)
+        warm = sum(r.cost_warm for r in self.rows)
+        return warm / cold if cold else 1.0
+
+
+def warm_start(
+    scale: str = CI, programs=None, mode: str = "plain", store_path: str | None = None
+) -> WarmStartResult:
+    """Run each program twice against one store: cold, then warm.
+
+    The differential this figure *enforces* (it raises on violation — the
+    CI warm-start smoke job runs it as an assertion):
+
+    * the warm run performs strictly fewer bottom-tier full blasts
+      (``sat_solver_runs``) than the cold run;
+    * the warm run emits the identical test multiset and coverage — store
+      hits and cache seedings are verdict-neutral, so the explored path
+      space cannot change.
+    """
+    programs = programs or ["echo", "wc", "uniq"]
+    tmpdir = None
+    if store_path is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-store-")
+        store_path = os.path.join(tmpdir, "warm.sqlite")
+    rows: list[WarmRow] = []
+    for program in programs:
+        settings = RunSettings(
+            program=program, mode=mode, generate_tests=True, store_path=store_path
+        )
+        cold = run_cell(settings)
+        warm = run_cell(settings)
+        if _test_multiset(warm.tests.cases) != _test_multiset(cold.tests.cases):
+            raise AssertionError(f"{program}: warm run changed the test multiset")
+        if warm.engine.coverage.covered != cold.engine.coverage.covered:
+            raise AssertionError(f"{program}: warm run changed coverage")
+        if warm.paths != cold.paths:
+            raise AssertionError(
+                f"{program}: warm run changed the path space "
+                f"({cold.paths} vs {warm.paths})"
+            )
+        if cold.solver_stats.sat_solver_runs == 0:
+            raise AssertionError(
+                f"{program}: cold run never reached the SAT solver — pick a "
+                "program whose queries are not all fast-path decidable"
+            )
+        if warm.solver_stats.sat_solver_runs >= cold.solver_stats.sat_solver_runs:
+            raise AssertionError(
+                f"{program}: warm run did not reduce full blasts "
+                f"({cold.solver_stats.sat_solver_runs} -> "
+                f"{warm.solver_stats.sat_solver_runs})"
+            )
+        rows.append(
+            WarmRow(
+                program=program,
+                paths=warm.paths,
+                tests=len(warm.tests.cases),
+                sat_runs_cold=cold.solver_stats.sat_solver_runs,
+                sat_runs_warm=warm.solver_stats.sat_solver_runs,
+                cost_cold=cost_of(cold),
+                cost_warm=cost_of(warm),
+                store_hits_warm=warm.solver_stats.store_hits,
+                warm_models=warm.stats.warm_models_seeded,
+                warm_cores=warm.stats.warm_cores_seeded,
+                t_cold=cold.stats.wall_time,
+                t_warm=warm.stats.wall_time,
+            )
+        )
+    from ..store import open_store
+
+    store = open_store(store_path, readonly=True)
+    counts = store.counts() if store is not None else {}
+    if store is not None:
+        store.close()
+    return WarmStartResult(store_path=store_path, rows=rows, store_counts=counts)
+
+
+# ---------------------------------------------------------------------------
+# Cache report — query-cache and store hit/miss rates over the corpus
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheRow:
+    program: str
+    queries: int
+    hits_exact: int
+    hits_subset: int
+    hits_model: int
+    misses: int
+    store_hits: int
+    unsat_cores: int
+    hit_rate: float
+
+
+@dataclass
+class CacheReportResult:
+    rows: list[CacheRow] = field(default_factory=list)
+
+    def table(self) -> str:
+        data = [
+            [r.program, r.queries, r.hits_exact, r.hits_subset, r.hits_model,
+             r.misses, r.store_hits, r.unsat_cores, f"{100 * r.hit_rate:.1f}%"]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "queries", "exact", "subset-UNSAT", "model-reuse",
+             "misses", "store", "cores", "hit rate"],
+            data,
+            title="Cache effectiveness — query-cache tiers + persistent store",
+        )
+
+    def overall_hit_rate(self) -> float:
+        lookups = sum(
+            r.hits_exact + r.hits_subset + r.hits_model + r.misses for r in self.rows
+        )
+        hits = sum(r.hits_exact + r.hits_subset + r.hits_model for r in self.rows)
+        return hits / lookups if lookups else 0.0
+
+
+def cache_report(
+    scale: str = CI, programs=None, mode: str = "plain", store_path: str | None = None
+) -> CacheReportResult:
+    """Per-program cache-tier breakdown (previously invisible)."""
+    programs = programs or ["echo", "test", "wc", "uniq"]
+    cap = _budget(scale, 20000, 120000)
+    rows: list[CacheRow] = []
+    for program in programs:
+        result = run_cell(
+            RunSettings(
+                program=program, mode=mode, max_steps=cap, store_path=store_path
+            )
+        )
+        s = result.solver_stats
+        lookups = s.cache_hits_exact + s.cache_hits_subset + s.cache_hits_model + s.cache_misses
+        hits = s.cache_hits_exact + s.cache_hits_subset + s.cache_hits_model
+        rows.append(
+            CacheRow(
+                program=program,
+                queries=s.queries,
+                hits_exact=s.cache_hits_exact,
+                hits_subset=s.cache_hits_subset,
+                hits_model=s.cache_hits_model,
+                misses=s.cache_misses,
+                store_hits=s.store_hits,
+                unsat_cores=s.unsat_cores,
+                hit_rate=hits / lookups if lookups else 0.0,
+            )
+        )
+    return CacheReportResult(rows=rows)
 
 
 def parallel_scaling(

@@ -51,6 +51,9 @@ class RunSettings:
     generate_tests: bool = False
     seed: int = 0
     solver_incremental: bool = True
+    # Persistent cross-run store (repro.store); None = cold, stateless run.
+    store_path: str | None = None
+    warm_start: bool = True
 
 
 def settings_to_spec_config(settings: RunSettings) -> tuple[ArgvSpec, EngineConfig]:
@@ -79,6 +82,8 @@ def settings_to_spec_config(settings: RunSettings) -> tuple[ArgvSpec, EngineConf
         generate_tests=settings.generate_tests,
         seed=settings.seed,
         solver_incremental=settings.solver_incremental,
+        store_path=settings.store_path,
+        warm_start=settings.warm_start,
     )
     return spec, config
 

@@ -1,0 +1,297 @@
+"""α-canonical keys for constraint sets.
+
+The persistent constraint cache (:mod:`repro.store`) must recognise a
+query it has answered in an earlier *process*, where interned-expression
+ids mean nothing and even variable names may differ (``arg1_b0`` of one
+spec playing the role of ``arg2_b0`` in another).  This module maps a
+constraint *set* to a canonical key such that
+
+* **soundness** — equal keys imply α-equivalent sets (identical DAGs after
+  a bijective variable renaming), hence equisatisfiable, and a model of
+  one maps to a model of the other through the renaming;
+* **stability** — the key is a pure function of the set's structure:
+  independent of interning order, process, hash seed, and variable names.
+
+The construction: every constraint is hashed *name-blind* (variables
+collapse to their sort), variable classes are refined for two rounds of
+Weisfeiler–Leman-style colouring (a variable's colour mixes the colours
+of the constraints it occurs in, a constraint's colour mixes the colours
+of its variables), constraints are ordered by their refined colour, and
+canonical names ``v0, v1, ...`` are assigned by first occurrence in that
+order.  The key is a structural prefix (constraint/variable/node counts
+— sets differing there can never collide) plus a SHA-256 digest of the
+renamed DAG encoding.
+
+Equal keys are exact for renamings of the same constraint list; for
+adversarially symmetric sets the refinement may order tied constraints
+differently and miss an α-equivalence — that costs a cache hit, never
+correctness, because the digest still covers the full renamed structure.
+All hashing uses :mod:`hashlib` (never the salted built-in ``hash``), so
+keys are stable across processes and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .nodes import (
+    ADD,
+    AND,
+    BVAND,
+    BVOR,
+    BVXOR,
+    CONST,
+    EQ,
+    MUL,
+    OR,
+    VAR,
+    XOR,
+    Expr,
+)
+from .sorts import BOOL
+
+_BOOL_CODE = 0
+_REFINE_ROUNDS = 2
+
+# Kinds whose operand order is semantically irrelevant.  All hashing here
+# treats their children as a *multiset* (digests sorted before mixing), so
+# keys cannot depend on the orientation the smart constructors chose —
+# which is name-dependent (``Expr.skey``) and therefore differs between
+# α-renamed builds of the same structure.
+_COMMUTATIVE = frozenset({ADD, MUL, BVAND, BVOR, BVXOR, EQ, AND, OR, XOR})
+
+# Name-blind structural hash per node, memoized by eid (valid process-wide:
+# an eid's structure never changes, and the hash ignores variable names).
+_skeleton_cache: dict[int, bytes] = {}
+
+
+def _sort_code(e: Expr) -> int:
+    return _BOOL_CODE if e.sort is BOOL else e.sort.width
+
+
+def _h(*parts) -> bytes:
+    m = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        m.update(part if isinstance(part, bytes) else str(part).encode())
+        m.update(b"\x1f")
+    return m.digest()
+
+
+def _postorder(root: Expr, done: set[int]) -> list[Expr]:
+    """DAG nodes under ``root`` not in ``done``, children before parents."""
+    out: list[Expr] = []
+    stack: list[tuple[Expr, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.eid in done:
+            continue
+        if expanded:
+            done.add(node.eid)
+            out.append(node)
+        else:
+            stack.append((node, True))
+            for child in node.children:
+                if child.eid not in done:
+                    stack.append((child, False))
+    return out
+
+
+def _hash_bottom_up(root: Expr, memo: dict[int, bytes], var_digest) -> bytes:
+    """Structural hash over the DAG; ``memo`` doubles as the done-set (it is
+    consulted by membership, never copied — it may be the process-global
+    skeleton cache)."""
+    stack: list[tuple[Expr, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.eid in memo:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children:
+                if child.eid not in memo:
+                    stack.append((child, False))
+            continue
+        if node.kind == VAR:
+            digest = var_digest(node)
+        elif node.kind == CONST:
+            digest = _h("C", _sort_code(node), node.value)
+        else:
+            child_digests = [memo[c.eid] for c in node.children]
+            if node.kind in _COMMUTATIVE:
+                child_digests.sort()
+            digest = _h(
+                node.kind,
+                _sort_code(node),
+                node.params,
+                len(node.children),
+                *child_digests,
+            )
+        memo[node.eid] = digest
+    return memo[root.eid]
+
+
+def skeleton_hash(root: Expr) -> bytes:
+    """Name-blind structural hash of one expression (DAG-linear, cached)."""
+    return _hash_bottom_up(
+        root, _skeleton_cache, lambda node: _h("V", _sort_code(node))
+    )
+
+
+def _colored_hash(root: Expr, colors: dict[str, bytes], memo: dict[int, bytes]) -> bytes:
+    """Structural hash with every variable replaced by its current colour."""
+    return _hash_bottom_up(
+        root, memo, lambda node: _h("V", _sort_code(node), colors[node.name])
+    )
+
+
+@dataclass(frozen=True)
+class CanonResult:
+    """Canonical key plus the renaming that produced it.
+
+    ``rename`` maps every original variable name of the set to its
+    canonical ``v<i>`` name (a bijection over the set's variables); use
+    :meth:`to_canonical` / :meth:`from_canonical` to move model fragments
+    across the renaming.
+    """
+
+    key: str
+    rename: dict[str, str]
+
+    def to_canonical(self, model: dict[str, int]) -> dict[str, int]:
+        """Project a model into canonical variable names (drops strangers)."""
+        return {self.rename[k]: v for k, v in model.items() if k in self.rename}
+
+    def from_canonical(self, model: dict[str, int]) -> dict[str, int]:
+        inverse = {v: k for k, v in self.rename.items()}
+        return {inverse[k]: v for k, v in model.items() if k in inverse}
+
+
+def canonicalize(constraints) -> CanonResult:
+    """Canonical key + renaming for a constraint set (order-insensitive)."""
+    cons = list(constraints)
+
+    # Variable inventory: name -> sort code, per-constraint occurrence sets.
+    var_sorts: dict[str, int] = {}
+    for c in cons:
+        seen: set[int] = set()
+        for node in _postorder(c, seen):
+            if node.kind == VAR and node.name not in var_sorts:
+                var_sorts[node.name] = _sort_code(node)
+
+    # WL refinement: constraint colours from variable colours and back.
+    # A variable's colour mixes the colours of the constraints it occurs in
+    # *and* the digests of its direct parent nodes — the parent part is
+    # what separates positionally distinct variables inside one constraint
+    # (e.g. ``eq(a, add(b, c))``: a's parent is the eq, b's and c's the
+    # add) without ever depending on commutative operand orientation.
+    # (_REFINE_ROUNDS >= 1, so ccolors is always set by the first round.)
+    colors = {name: _h("v0", code) for name, code in var_sorts.items()}
+    ccolors: list[bytes] = []
+    for round_no in range(_REFINE_ROUNDS):
+        memo: dict[int, bytes] = {}
+        ccolors = [_colored_hash(c, colors, memo) for c in cons]
+        parent_sigs: dict[str, list[bytes]] = {name: [] for name in var_sorts}
+        walked: set[int] = set()
+        for c in cons:
+            for node in _postorder(c, walked):  # DAG-deduped across the set
+                for child in node.children:
+                    if child.kind == VAR:
+                        parent_sigs[child.name].append(memo[node.eid])
+        new_colors: dict[str, bytes] = {}
+        for name in var_sorts:
+            occurrences = sorted(
+                ccolors[i] for i, c in enumerate(cons) if name in c.variables
+            )
+            new_colors[name] = _h(
+                "r",
+                round_no,
+                colors[name],
+                *occurrences,
+                b"|",
+                *sorted(parent_sigs[name]),
+            )
+        colors = new_colors
+
+    order = sorted(range(len(cons)), key=lambda i: ccolors[i])
+
+    # Canonical names: primarily by refined colour (orientation- and
+    # order-independent), ties broken by first occurrence in the refined
+    # constraint order (preorder walk; shared nodes visited once).
+    occurrence: dict[str, int] = {}
+    visited: set[int] = set()
+    for i in order:
+        stack = [cons[i]]
+        while stack:
+            node = stack.pop()
+            if node.eid in visited:
+                continue
+            visited.add(node.eid)
+            if node.kind == VAR and node.name not in occurrence:
+                occurrence[node.name] = len(occurrence)
+            stack.extend(reversed(node.children))
+    ordered_names = sorted(var_sorts, key=lambda n: (colors[n], occurrence[n]))
+    rename = {name: f"v{k}" for k, name in enumerate(ordered_names)}
+
+    # Each constraint is DAG-encoded alone under the canonical renaming and
+    # the digest covers the *sorted multiset* of those encodings: the key
+    # is then insensitive to how ties in the refined order were broken
+    # (e.g. fully symmetric constraint cycles), while equal keys still
+    # force equal renamed multisets — hence α-equivalent sets.
+    digest, node_count = _multiset_digest(
+        cons, lambda node: rename[node.name] if node.kind == VAR else node.name
+    )
+    key = f"{len(cons)}:{len(rename)}:{node_count}:{digest}"
+    return CanonResult(key=key, rename=rename)
+
+
+def _multiset_digest(cons, label) -> tuple[str, int]:
+    """SHA-256 over the sorted per-constraint Merkle digests + node count.
+
+    Per-constraint digests come from :func:`_hash_bottom_up` with the
+    given variable labelling, so commutative operand orientation never
+    leaks into the key.  (A Merkle digest identifies the expression
+    *tree*; DAG sharing is a representation detail with no semantic
+    content, so conflating shared and unshared builds is sound.)
+    """
+    node_count = 0
+    digests: list[bytes] = []
+    for c in cons:
+        memo: dict[int, bytes] = {}
+        digests.append(
+            _hash_bottom_up(
+                c, memo, lambda node: _h("V", _sort_code(node), label(node))
+            )
+        )
+        node_count += len(memo)
+    m = hashlib.sha256()
+    for digest in sorted(digests):
+        m.update(digest)
+        m.update(b"\x00")
+    return m.hexdigest(), node_count
+
+
+def canonical_key(constraints) -> str:
+    """Just the key (when no model remapping is needed)."""
+    return canonicalize(constraints).key
+
+
+def named_key(constraints) -> str:
+    """Order-insensitive structural key that *keeps* variable names.
+
+    Unlike :func:`canonical_key` this distinguishes α-equivalent sets over
+    different variables — which is exactly what a *path-prefix identity*
+    needs: two symmetric paths (say, over ``arg1`` vs ``arg2``) are
+    α-equivalent but produce different concrete tests, so the corpus must
+    key them apart.  Still stable across processes and constraint order.
+    """
+    cons = list(constraints)
+    digest, node_count = _multiset_digest(cons, lambda node: node.name)
+    n_vars = len({n for c in cons for n in c.variables})
+    return f"{len(cons)}:{n_vars}:{node_count}:{digest}"
+
+
+def structural_prefix(key: str) -> tuple[int, int, int]:
+    """The ``(constraints, variables, nodes)`` counts leading a key."""
+    n_cons, n_vars, n_nodes, _ = key.split(":", 3)
+    return int(n_cons), int(n_vars), int(n_nodes)

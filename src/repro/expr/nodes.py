@@ -9,6 +9,7 @@ simplifications before interning.
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterator
 
 from .sorts import BOOL, BVSort, Sort
@@ -68,6 +69,48 @@ _BOOL_KINDS = frozenset({NOT, AND, OR, XOR, IMPLIES})
 _intern_table: dict[tuple, "Expr"] = {}
 _next_id = 0
 
+# Deterministic structural keys (``Expr.skey``): a 64-bit FNV-style hash of
+# kind/sort/payload/children computed bottom-up at interning time.  Unlike
+# ``eid`` (which encodes interning *history*) and the built-in ``hash``
+# (salted per process), skey depends only on the expression's structure and
+# names — the smart constructors orient commutative operands by it, so the
+# DAGs a run builds are identical across processes no matter what else was
+# interned first (e.g. warm-start seeding decoding a store's UNSAT cores).
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_M64 = (1 << 64) - 1
+_label_codes: dict[str, int] = {}
+
+
+def _label_code(label: str) -> int:
+    code = _label_codes.get(label)
+    if code is None:
+        code = zlib.crc32(label.encode())
+        _label_codes[label] = code
+    return code
+
+
+def _structural_key(
+    kind: str,
+    sort: Sort,
+    children: tuple["Expr", ...],
+    value: int | None,
+    name: str | None,
+    params: tuple[int, ...],
+) -> int:
+    h = _FNV_OFFSET
+    h = ((h ^ _label_code(kind)) * _FNV_PRIME) & _M64
+    h = ((h ^ (sort.width if isinstance(sort, BVSort) else 0)) * _FNV_PRIME) & _M64
+    if value is not None:
+        h = ((h ^ (value + 1)) * _FNV_PRIME) & _M64
+    if name is not None:
+        h = ((h ^ _label_code(name)) * _FNV_PRIME) & _M64
+    for p in params:
+        h = ((h ^ (p + 2)) * _FNV_PRIME) & _M64
+    for child in children:  # order-sensitive: non-commutative kinds differ
+        h = ((h ^ child.skey) * _FNV_PRIME) & _M64
+    return h
+
 
 def interned_count() -> int:
     """Number of distinct live expression nodes (diagnostics)."""
@@ -105,6 +148,7 @@ class Expr:
         "name",
         "params",
         "eid",
+        "skey",
         "_hash",
         "_vars",
         "_depth",
@@ -138,6 +182,7 @@ class Expr:
         node.params = params
         node.eid = _next_id
         _next_id += 1
+        node.skey = _structural_key(kind, sort, children, value, name, params)
         node._hash = hash((kind, id(sort), tuple(c.eid for c in children), value, name, params))
         node._vars = None
         node._depth = None

@@ -51,6 +51,18 @@ def _require_same_width(a: Expr, b: Expr, op: str) -> int:
     return a.width
 
 
+def _later(a: Expr, b: Expr) -> bool:
+    """Canonical commutative operand order: by structural key.
+
+    ``skey`` depends only on structure and names, never on interning
+    history, so the orientation — and hence the built DAG and every key
+    derived from it (repro.expr.canon) — is identical across processes
+    even when something else (warm-start core decoding, test fixtures)
+    interned expressions first.  ``eid`` only breaks 64-bit hash ties.
+    """
+    return a.skey > b.skey or (a.skey == b.skey and a.eid > b.eid)
+
+
 # ---------------------------------------------------------------------------
 # Bitvector arithmetic
 # ---------------------------------------------------------------------------
@@ -65,7 +77,7 @@ def add(a: Expr, b: Expr) -> Expr:
     if b.is_const() and b.value == 0:
         return a
     # Canonical operand order for commutative ops: constants last.
-    if a.is_const() or (not b.is_const() and a.eid > b.eid):
+    if a.is_const() or (not b.is_const() and _later(a, b)):
         a, b = b, a
     # (x + c1) + c2  ->  x + (c1 + c2)
     if b.is_const() and a.kind == N.ADD and a.children[1].is_const():
@@ -97,7 +109,7 @@ def mul(a: Expr, b: Expr) -> Expr:
             return bv(0, w)
         if b.value == 1:
             return a
-    elif a.eid > b.eid:
+    elif _later(a, b):
         a, b = b, a
     return Expr._make(N.MUL, a.sort, (a, b))
 
@@ -180,7 +192,7 @@ def bvand(a: Expr, b: Expr) -> Expr:
             return a
     if a is b:
         return a
-    if not b.is_const() and a.eid > b.eid:
+    if not b.is_const() and _later(a, b):
         a, b = b, a
     return Expr._make(N.BVAND, a.sort, (a, b))
 
@@ -198,7 +210,7 @@ def bvor(a: Expr, b: Expr) -> Expr:
             return bv(b.value, w)
     if a is b:
         return a
-    if not b.is_const() and a.eid > b.eid:
+    if not b.is_const() and _later(a, b):
         a, b = b, a
     return Expr._make(N.BVOR, a.sort, (a, b))
 
@@ -213,7 +225,7 @@ def bvxor(a: Expr, b: Expr) -> Expr:
         a, b = b, a
     if b.is_const() and b.value == 0:
         return a
-    if not b.is_const() and a.eid > b.eid:
+    if not b.is_const() and _later(a, b):
         a, b = b, a
     return Expr._make(N.BVXOR, a.sort, (a, b))
 
@@ -388,7 +400,11 @@ def eq(a: Expr, b: Expr) -> Expr:
     pushed = _push_cmp_into_ite(N.EQ, a, b)
     if pushed is not None:
         return pushed
-    if a.eid > b.eid:
+    # Canonical operand order, constants last (like add/mul): comparing
+    # eids of a fresh node and a long-interned constant would make the
+    # structure depend on interning history, which must not leak into
+    # α-canonical keys (repro.expr.canon).
+    if a.is_const() or (not b.is_const() and _later(a, b)):
         a, b = b, a
     return Expr._make(N.EQ, BOOL, (a, b))
 
@@ -522,7 +538,7 @@ def and_(a: Expr, b: Expr) -> Expr:
         return a
     if complements(a, b):
         return FALSE
-    if a.eid > b.eid:
+    if _later(a, b):
         a, b = b, a
     return Expr._make(N.AND, BOOL, (a, b))
 
@@ -538,7 +554,7 @@ def or_(a: Expr, b: Expr) -> Expr:
         return a
     if complements(a, b):
         return TRUE
-    if a.eid > b.eid:
+    if _later(a, b):
         a, b = b, a
     return Expr._make(N.OR, BOOL, (a, b))
 
@@ -552,7 +568,7 @@ def xor(a: Expr, b: Expr) -> Expr:
         return not_(a) if b.value else a
     if a is b:
         return FALSE
-    if a.eid > b.eid:
+    if _later(a, b):
         a, b = b, a
     return Expr._make(N.XOR, BOOL, (a, b))
 

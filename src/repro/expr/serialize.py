@@ -12,6 +12,13 @@ subterms.
 The encoded form is made of tuples of ints/strings only, safe for pickle
 or any structured transport.  Sorts are encoded as ``0`` for Bool and the
 positive width for ``BV(width)``.
+
+Node encoding is memoized per process: sibling snapshots and store writes
+share most of their DAGs (common pc prefixes, merged stores), so each
+node's encoded tuple is built once and reused — only the child-index
+remapping is per-call work.  The memo is keyed by ``eid``, which is never
+reused (even across ``clear_intern_table``), and :func:`serialize_stats`
+exposes fresh-encode vs memo-hit counters so tests can verify the sharing.
 """
 
 from __future__ import annotations
@@ -23,6 +30,21 @@ from .sorts import BOOL, BVSort
 EncodedNode = tuple[str, int, tuple[int, ...], int | None, str | None, tuple[int, ...]]
 
 _BOOL_CODE = 0
+
+# eid -> (kind, sort_code, child_eids, value, name, params); the per-call
+# encoding only remaps child_eids to positions in that call's node list.
+_node_memo: dict[int, tuple] = {}
+_stats = {"fresh_encodes": 0, "memo_hits": 0}
+
+
+def serialize_stats() -> dict[str, int]:
+    """Counters for the per-process node-encoding memo (diagnostics)."""
+    return dict(_stats)
+
+
+def reset_serialize_stats() -> None:
+    _stats["fresh_encodes"] = 0
+    _stats["memo_hits"] = 0
 
 
 def _sort_code(expr: Expr) -> int:
@@ -57,13 +79,28 @@ def _encode_into(root: Expr, index: dict[int, int], nodes: list[EncodedNode]) ->
         if node.eid in index:
             continue
         if expanded:
+            memo = _node_memo.get(node.eid)
+            if memo is None:
+                memo = (
+                    node.kind,
+                    _sort_code(node),
+                    tuple(c.eid for c in node.children),
+                    node.value,
+                    node.name,
+                    node.params,
+                )
+                _node_memo[node.eid] = memo
+                _stats["fresh_encodes"] += 1
+            else:
+                _stats["memo_hits"] += 1
+            kind, sort_code, child_eids, value, name, params = memo
             encoded = (
-                node.kind,
-                _sort_code(node),
-                tuple(index[c.eid] for c in node.children),
-                node.value,
-                node.name,
-                node.params,
+                kind,
+                sort_code,
+                tuple(index[e] for e in child_eids),
+                value,
+                name,
+                params,
             )
             index[node.eid] = len(nodes)
             nodes.append(encoded)

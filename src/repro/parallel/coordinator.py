@@ -181,7 +181,7 @@ class Coordinator:
     def run(self) -> ParallelResult:
         start = time.perf_counter()
         module = get_program(self.program).compile()
-        split_engine = Engine(module, self.spec, self.config)
+        split_engine = Engine(module, self.spec, self.config, program=self.program)
         split_engine.seed_states([split_engine.make_initial_state()])
 
         par = self.parallel
@@ -201,12 +201,16 @@ class Coordinator:
             return self._assemble(split_engine, [], [], set(), start)
 
         if par.backend == "inline":
-            entries, tests, covered, streamed = self._run_inline(module, partitions)
+            entries, tests, covered, streamed, payloads = self._run_inline(
+                module, partitions
+            )
         elif par.backend == "process":
-            entries, tests, covered, streamed = self._run_processes(partitions)
+            entries, tests, covered, streamed, payloads = self._run_processes(partitions)
         else:
             raise ValueError(f"unknown backend {par.backend!r}")
-        return self._assemble(split_engine, entries, tests, covered, start, streamed)
+        return self._assemble(
+            split_engine, entries, tests, covered, start, streamed, payloads
+        )
 
     # -- helpers -----------------------------------------------------------------
 
@@ -230,6 +234,7 @@ class Coordinator:
         worker_covered: set,
         start: float,
         streamed_paths: int = 0,
+        store_payloads: list | None = None,
     ) -> ParallelResult:
         split_engine._sync_solver_stats()
         ledger: list[LedgerEntry] = [
@@ -238,6 +243,7 @@ class Coordinator:
         ledger.extend(worker_entries)
         tests = TestSuite(self.spec, cases=list(split_engine.tests.cases) + worker_tests)
         covered = set(split_engine.coverage.covered) | worker_covered
+        self._commit_store(split_engine, store_payloads or [], tests, ledger)
         return ParallelResult(
             program=self.program,
             spec=self.spec,
@@ -254,6 +260,54 @@ class Coordinator:
             streamed_paths=streamed_paths,
         )
 
+    def _commit_store(
+        self,
+        split_engine: Engine,
+        store_payloads: list,
+        tests: TestSuite,
+        ledger: list[LedgerEntry],
+    ) -> None:
+        """Single-writer store commit for a partitioned run.
+
+        The coordinator's split engine owns the writable store; workers
+        (process or inline) ran read-only and shipped their buffered
+        inserts, which are applied here together with the coordinator's
+        own buffer, the merged run metadata, and the full merged test
+        suite.
+        """
+        store = getattr(split_engine, "store", None)
+        if store is None or store.readonly or split_engine._store_tier is None:
+            return
+        from ..store import apply_payload, record_tests, spec_fingerprint
+
+        merged_engine = EngineStats.merged(entry[1] for entry in ledger)
+        merged_solver = SolverStats.merged(entry[2] for entry in ledger)
+        run_id = store.record_run(
+            self.program,
+            spec_fingerprint(self.spec),
+            mode=(
+                f"{self.config.merging}/{self.config.similarity}/"
+                f"{self.config.strategy}/workers={self.parallel.workers}"
+            ),
+            wall_time=merged_engine.wall_time,
+            queries=merged_solver.queries,
+            sat_solver_runs=merged_solver.sat_solver_runs,
+            store_hits=merged_solver.store_hits,
+            cost_units=merged_solver.cost_units,
+            paths=merged_engine.paths_completed,
+            tests=merged_engine.tests_generated,
+            stats=merged_engine.snapshot(),
+        )
+        split_engine._store_tier.flush(run_id=run_id)
+        for payload in store_payloads:
+            if payload:
+                apply_payload(store, payload, run_id=run_id)
+        record_tests(
+            store, split_engine.module, self.program, self.spec, tests.cases, run_id
+        )
+        split_engine._store_committed = True
+        split_engine.close_store()
+
     # -- inline backend -----------------------------------------------------------
 
     def _run_inline(self, module, partitions: list[Partition]):
@@ -264,7 +318,18 @@ class Coordinator:
         fork-free, so it doubles as the reference for differential tests.
         """
         par = self.parallel
-        engines = [Engine(module, self.spec, self.config) for _ in range(par.workers)]
+        config = self.config
+        if config.store_path:
+            # Same protocol as process workers: read-only store views,
+            # inserts buffered and applied by the coordinator (the single
+            # writer) at assembly time.
+            import dataclasses
+
+            config = dataclasses.replace(config, store_readonly=True)
+        engines = [
+            Engine(module, self.spec, config, program=self.program)
+            for _ in range(par.workers)
+        ]
         tests: list = []
         covered: set = set()
         streamed_paths = 0
@@ -279,10 +344,13 @@ class Coordinator:
             covered |= new_cov
             streamed_paths += paths
         entries: list[LedgerEntry] = []
+        payloads: list = []
         for i, engine in enumerate(engines):
             engine._sync_solver_stats()
             entries.append((f"worker-{i}", engine.stats, engine.solver.stats))
-        return entries, tests, covered, streamed_paths
+            payloads.append(engine.export_store_payload())
+            engine.close_store()
+        return entries, tests, covered, streamed_paths, payloads
 
     # -- process backend -----------------------------------------------------------
 
@@ -386,22 +454,27 @@ class Coordinator:
                     cmd_qs[victim].put((CMD_STEAL, running[victim]))
                     steal_inflight.add(victim)
 
-        # Drain: stop every worker and collect its final stats ledger.
+        # Drain: stop every worker and collect its final stats ledger
+        # (plus its buffered store inserts — the coordinator is the
+        # single store writer).
         for _ in procs:
             task_q.put((TASK_STOP,))
         entries_by_wid: dict[int, LedgerEntry] = {}
+        payloads_by_wid: dict[int, dict | None] = {}
         while len(entries_by_wid) < len(procs):
             msg = self._next_message(result_q, procs)
             if msg[0] == MSG_STATS:
-                _, wid, engine_stats, solver_stats = msg
+                _, wid, engine_stats, solver_stats, store_payload = msg
                 entries_by_wid[wid] = (f"worker-{wid}", engine_stats, solver_stats)
+                payloads_by_wid[wid] = store_payload
             elif msg[0] == MSG_ERROR:
                 raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
             # Late MSG_STOLEN (always empty by now) and MSG_START/DONE
             # cannot occur here: pending hit zero, so every partition was
             # finished and acknowledged before the stop was sent.
         entries = [entries_by_wid[wid] for wid in sorted(entries_by_wid)]
-        return entries, tests, covered, streamed_paths
+        payloads = [payloads_by_wid[wid] for wid in sorted(payloads_by_wid)]
+        return entries, tests, covered, streamed_paths, payloads
 
     def _next_message(self, result_q, procs):
         while True:

@@ -18,7 +18,11 @@ Worker -> coordinator (result queue):
     (MSG_START, worker_id, partition_id)            — began a partition
     (MSG_DONE, worker_id, partition_id, tests, covered, paths)
     (MSG_STOLEN, worker_id, [snapshot_bytes, ...])  — may be empty
-    (MSG_STATS, worker_id, EngineStats, SolverStats) — final, pre-exit
+    (MSG_STATS, worker_id, EngineStats, SolverStats, store_payload)
+        — final, pre-exit; ``store_payload`` is the worker's buffered
+          persistent-store inserts (canonical constraint rows + UNSAT
+          cores) or None.  Workers open the store read-only: the
+          coordinator is the single writer and applies these payloads.
     (MSG_ERROR, worker_id, traceback_text)
 """
 

@@ -16,6 +16,7 @@ on shutdown, so the coordinator can merge exact per-worker counters.
 
 from __future__ import annotations
 
+import dataclasses
 import queue
 import traceback
 
@@ -110,7 +111,13 @@ def worker_main(
         module = get_program(program).compile()
         spec = ArgvSpec(**spec_payload)
         config = decode_config(config_payload)
-        engine = Engine(module, spec, config)
+        if config.store_path:
+            # Store invariant: the coordinator is the single writer.  The
+            # worker opens read-only (the coordinator created the file
+            # before spawning us) and ships its buffered inserts with the
+            # final stats message.
+            config = dataclasses.replace(config, store_readonly=True)
+        engine = Engine(module, spec, config, program=program)
         # Seeded states are transferred from the coordinator's ledger, not
         # created here; start this worker's creation counter at zero so
         # per-worker stats sum exactly to the merged ledger.
@@ -119,7 +126,16 @@ def worker_main(
             msg = task_q.get()
             if msg[0] == TASK_STOP:
                 engine._sync_solver_stats()
-                result_q.put((MSG_STATS, worker_id, engine.stats, engine.solver.stats))
+                result_q.put(
+                    (
+                        MSG_STATS,
+                        worker_id,
+                        engine.stats,
+                        engine.solver.stats,
+                        engine.export_store_payload(),
+                    )
+                )
+                engine.close_store()
                 return
             if msg[0] != TASK_PARTITION:
                 raise ValueError(f"unknown task {msg[0]!r}")

@@ -38,6 +38,7 @@ class BitBlaster:
         self._gate_cache: dict[tuple, int] = {}
         self._divmod_cache: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
         self._guard_cache: dict[int, int] = {}
+        self._guard_expr: dict[int, Expr] = {}  # guard literal -> guarded expr
         self.var_bits: dict[str, list[int]] = {}
         self.bool_vars: dict[str, int] = {}
 
@@ -382,7 +383,19 @@ class BitBlaster:
             g = self.sat.new_var()
             self.sat.add_clause([-g, lit])
             self._guard_cache[e.eid] = g
+            self._guard_expr[g] = e
         return g
+
+    def core_exprs(self, core_lits) -> list[Expr]:
+        """Map an assumption core back to the guarded constraint expressions.
+
+        Literals that are not guard literals (there are none when callers
+        pass only :meth:`guard_literal` results as assumptions) are
+        dropped rather than guessed at.
+        """
+        return [
+            self._guard_expr[lit] for lit in core_lits if lit in self._guard_expr
+        ]
 
     @property
     def clause_count(self) -> int:

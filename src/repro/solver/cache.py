@@ -77,6 +77,20 @@ class QueryCache:
             if len(self._unsat_sets) > self.max_unsat_sets:
                 self._unsat_sets.popitem(last=False)
 
+    def seed_model(self, model: dict[str, int]) -> None:
+        """Inject a known-good assignment into the model-reuse tier.
+
+        Warm-start seeding (repro.store): corpus test inputs are full
+        satisfying assignments of previously completed paths, so evaluating
+        them against new queries can prove SAT without solving.  Seeding
+        adds no exact entry — only lookup evidence — and therefore cannot
+        change any verdict.
+        """
+        self._model_counter += 1
+        self._recent_models[self._model_counter] = dict(model)
+        if len(self._recent_models) > self.max_models:
+            self._recent_models.popitem(last=False)
+
     def clear(self) -> None:
         self._exact.clear()
         self._recent_models.clear()

@@ -63,6 +63,20 @@ class SolverStats:
     cost_units: int = 0
     time_total: float = 0.0
     timeouts: int = 0
+    # In-memory cache effectiveness, broken down by tier (synced from the
+    # QueryCache's own counters; ``cache_hits`` above is the chain-side
+    # total and predates the breakdown).
+    cache_hits_exact: int = 0
+    cache_hits_subset: int = 0
+    cache_hits_model: int = 0
+    cache_misses: int = 0
+    # Persistent-store tier (stay 0 when no store is attached).
+    store_hits: int = 0
+    store_misses: int = 0
+    store_inserts: int = 0
+    store_rejects: int = 0
+    # Assumption cores extracted from UNSAT answers (incremental tier).
+    unsat_cores: int = 0
     # Incremental-tier counters (stay 0 on a fresh-blast chain).
     # ``sat_solver_runs`` counts *full blasts*: every bottom-tier query on
     # the fresh chain, but only blaster (re)builds on the incremental one.
@@ -133,6 +147,10 @@ class SolverChain:
     sat_max_learned: int | None = 4000
     cache: QueryCache = field(default_factory=QueryCache)
     stats: SolverStats = field(default_factory=SolverStats)
+    # Optional persistent tier (repro.store.PersistentTier), consulted on
+    # in-memory-cache misses *before* independence splitting and fed every
+    # solved verdict (buffered; a single writer flushes at end of run).
+    persistent: object | None = None
 
     def check(self, constraints) -> CheckResult:
         """Is the conjunction of ``constraints`` satisfiable? Model included."""
@@ -148,6 +166,7 @@ class SolverChain:
             raise
         finally:
             self.stats.time_total += time.perf_counter() - start
+            self._sync_cache_counters()
         if result.is_sat:
             self.stats.sat_answers += 1
         else:
@@ -166,6 +185,28 @@ class SolverChain:
         return self.check(pc + [cond]), self.check(pc + [ops.not_(cond)])
 
     # -- internals -----------------------------------------------------------
+
+    def _sync_cache_counters(self) -> None:
+        """Mirror the cache/tier-internal counters into this chain's stats.
+
+        Assignment (not addition) is correct here: each chain owns exactly
+        one :class:`QueryCache` and at most one persistent tier, so the
+        mirrored values are this chain's own totals and stay additive
+        under :meth:`SolverStats.merge` across chains.
+        """
+        cache = self.cache
+        self.stats.cache_hits_exact = cache.hits_exact
+        self.stats.cache_hits_subset = cache.hits_subset_unsat
+        self.stats.cache_hits_model = cache.hits_model_reuse
+        self.stats.cache_misses = cache.misses
+        if self.persistent is not None:
+            self.stats.store_rejects = self.persistent.rejects
+
+    def _persist(self, constraints: list[Expr], is_sat: bool, model) -> None:
+        """Buffer a solved verdict for the store's single writer."""
+        if self.persistent is not None:
+            if self.persistent.record(constraints, is_sat, model):
+                self.stats.store_inserts += 1
 
     @staticmethod
     def _flatten(constraints) -> tuple[list[Expr], bool]:
@@ -201,6 +242,21 @@ class SolverChain:
                 self.stats.cache_hits += 1
                 return CheckResult(hit[0], dict(hit[1]) if hit[1] is not None else None)
 
+        if self.persistent is not None:
+            hit = self.persistent.lookup(flat)
+            if hit is not None:
+                self.stats.store_hits += 1
+                is_sat, model_hit = hit
+                if self.use_cache:
+                    # Promote into the in-memory cache so repeats of this
+                    # query (and its SAT model / UNSAT subset power) stay
+                    # process-local.
+                    self.cache.store(flat, is_sat, model_hit)
+                return CheckResult(
+                    is_sat, dict(model_hit) if model_hit is not None else None
+                )
+            self.stats.store_misses += 1
+
         groups = split_independent(flat) if self.use_independence else [flat]
         model: dict[str, int] = {}
         for group in groups:
@@ -208,6 +264,7 @@ class SolverChain:
             if not sub.is_sat:
                 if self.use_cache:
                     self.cache.store(flat, False, None)
+                self._persist(flat, False, None)
                 return CheckResult(False)
             if sub.model:
                 # A cache hit may return a model binding variables outside
@@ -220,6 +277,7 @@ class SolverChain:
                 model.update({k: v for k, v in sub.model.items() if k in group_vars})
         if self.use_cache:
             self.cache.store(flat, True, model)
+        self._persist(flat, True, model)
         return CheckResult(True, model)
 
     def _check_group(self, group: list[Expr]) -> CheckResult:
@@ -243,6 +301,10 @@ class SolverChain:
     def _store_group(self, group: list[Expr], is_sat: bool, model) -> None:
         if self.use_cache and len(group) > 1:
             self.cache.store(group, is_sat, model)
+        if len(group) > 1:
+            # Group-level verdicts are worth persisting too: a future run's
+            # whole query may equal one of today's independence groups.
+            self._persist(group, is_sat, model)
 
     def _check_sat(self, group: list[Expr]) -> CheckResult:
         blaster = BitBlaster(max_learned=self.sat_max_learned)
@@ -406,10 +468,35 @@ class IncrementalChain(SolverChain):
             raise SolverTimeout(str(exc)) from exc
         self._account_probe(entry)
         if model is None:
+            self._extract_core(entry.blaster, group)
             self._store_group(group, False, None)
             return CheckResult(False)
         self._store_group(group, True, model)
         return CheckResult(True, model)
+
+    def _extract_core(self, blaster: BitBlaster, group: list[Expr]) -> None:
+        """Feed the assumption core of an UNSAT answer to the caches.
+
+        The CDCL core names the subset of guard literals that already
+        conflicts; the corresponding constraint subset is itself UNSAT,
+        and as a *smaller* set it subsumes strictly more future queries
+        through the subset-UNSAT cache tier — in this process via the
+        :class:`QueryCache`, across runs via the persistent store (both
+        the canonical cache row and a decodable core blob for warm-start
+        seeding).
+        """
+        core_lits = blaster.sat.last_core
+        if not core_lits:
+            return
+        core = blaster.core_exprs(core_lits)
+        if not core or len(core) >= len(group):
+            return
+        self.stats.unsat_cores += 1
+        if self.use_cache:
+            self.cache.store(core, False, None)
+        if self.persistent is not None:
+            self._persist(core, False, None)
+            self.persistent.record_core(core)
 
     def _account_probe(self, entry: _PersistentBlaster) -> None:
         sat = entry.blaster.sat

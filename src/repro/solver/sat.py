@@ -90,6 +90,11 @@ class CDCLSolver:
         self.stats_restarts = 0
         self.stats_forgotten = 0
         self.stats_reductions = 0
+        # After an UNSAT-under-assumptions answer: the subset of the
+        # assumption literals that already forces the conflict (the
+        # *assumption core*).  None after SAT answers and after root-level
+        # UNSAT (where the formula needs no assumptions to be UNSAT).
+        self.last_core: list[int] | None = None
 
     # -- problem construction ------------------------------------------------
 
@@ -365,6 +370,35 @@ class CDCLSolver:
         self.stats_reductions += 1
         return forgotten
 
+    # -- assumption-core extraction (MiniSat's analyzeFinal) -------------------
+
+    def _analyze_final(self, seed_lits: list[int]) -> list[int]:
+        """Assumption literals whose conjunction already forces a conflict.
+
+        Walks the implication graph from ``seed_lits`` back through trail
+        reasons; every reached pseudo-decision (``reason is None`` above
+        root level) is an assumption — all open levels are assumption
+        levels when this is called.  Must run *before* backtracking, while
+        trail, levels, and reasons still describe the conflict.
+        """
+        seen = {abs(lit) for lit in seed_lits if self.level[abs(lit)] > 0}
+        core: list[int] = []
+        for lit in reversed(self.trail):
+            var = abs(lit)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self.reason[var]
+            if reason is None:
+                if self.level[var] > 0:
+                    core.append(lit)
+            else:
+                for q in self.clauses[reason]:
+                    if abs(q) != var and self.level[abs(q)] > 0:
+                        seen.add(abs(q))
+        core.reverse()
+        return core
+
     # -- decisions -----------------------------------------------------------
 
     def _decide(self) -> int | None:
@@ -393,8 +427,11 @@ class CDCLSolver:
         leaves the solver reusable (``ok`` stays True); only a root-level
         conflict marks the formula permanently UNSAT.  After a SAT answer
         the trail is kept so :meth:`value` reads the model; the next
-        :meth:`solve` or :meth:`add_clause` call clears it.
+        :meth:`solve` or :meth:`add_clause` call clears it.  An
+        UNSAT-under-assumptions answer additionally leaves the culpable
+        assumption subset in :attr:`last_core`.
         """
+        self.last_core = None
         if not self.ok:
             return SatResult.UNSAT
         self._backtrack(0)
@@ -421,6 +458,7 @@ class CDCLSolver:
                 if len(self.trail_lim) <= len(assumed):
                     # Conflict forced entirely by the assumptions: UNSAT
                     # under assumptions, but the formula itself is intact.
+                    self.last_core = self._analyze_final(self.clauses[conflict])
                     self._backtrack(0)
                     return SatResult.UNSAT
                 learned, back_level = self._analyze(conflict)
@@ -452,6 +490,11 @@ class CDCLSolver:
                 lit = assumed[len(self.trail_lim)]
                 val = self._lit_value(lit)
                 if val is False:
+                    # Earlier assumptions already imply ¬lit: the core is
+                    # this assumption plus whatever forced its negation.
+                    core = self._analyze_final([lit])
+                    core.append(lit)
+                    self.last_core = core
                     self._backtrack(0)
                     return SatResult.UNSAT
                 self.trail_lim.append(len(self.trail))

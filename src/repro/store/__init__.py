@@ -1,0 +1,51 @@
+"""repro.store — persistent cross-run constraint & corpus store.
+
+Every run of the engine used to start cold: query cache, learned clauses,
+and generated tests died with the process.  This subsystem makes solver
+knowledge *durable*.  One SQLite file (plus content-addressed blobs in
+it) holds three kinds of cross-run state:
+
+1. **canonicalized constraint cache** — α-canonical keys
+   (:mod:`repro.expr.canon`) → SAT/UNSAT + model fragments, consulted by
+   :class:`~repro.solver.portfolio.SolverChain` as a tier above
+   independence splitting;
+2. **test corpus** — every generated test with its coverage bitmap and
+   path-prefix id, replayable and used to warm-start the next run's
+   model-reuse cache tier;
+3. **run metadata** — per-run stats rows for cross-run comparisons
+   (the ``warm_start`` experiment figure reads these).
+
+Invariants (enforced across :mod:`repro.store`, the engine, and the
+parallel coordinator; see also ROADMAP.md):
+
+* **single writer** — exactly one process writes a store file: the
+  sequential engine at end of run, or the parallel coordinator applying
+  its own and its workers' buffered inserts.  Workers open read-only and
+  ship inserts over the wire protocol.
+* **canonical-key soundness** — a cached answer is valid only because the
+  canonical key digests the *complete* renamed constraint set; partial
+  keys would turn α-equivalence into wrong verdicts.  SAT models are
+  additionally verified by evaluation before being trusted.
+* **warm-start neutrality** — store hits and cache seedings may change
+  *which tier* answers a query, never the verdict, so warm runs explore
+  the same path space and emit the same (deterministically generated)
+  test multiset as cold runs.
+"""
+
+from .corpus import corpus_coverage, record_tests, replay_coverage, seed_query_cache
+from .db import ReproStore, StoreError, open_store, spec_fingerprint
+from .tier import PersistentTier, apply_payload, decode_core
+
+__all__ = [
+    "PersistentTier",
+    "ReproStore",
+    "StoreError",
+    "apply_payload",
+    "corpus_coverage",
+    "decode_core",
+    "open_store",
+    "record_tests",
+    "replay_coverage",
+    "seed_query_cache",
+    "spec_fingerprint",
+]

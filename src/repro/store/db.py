@@ -1,0 +1,391 @@
+"""SQLite backing for the persistent cross-run store.
+
+One file holds four kinds of knowledge (see the package docstring for the
+subsystem overview and invariants):
+
+* ``constraint_cache`` — α-canonical constraint-set keys
+  (:mod:`repro.expr.canon`) mapped to SAT/UNSAT verdicts plus model
+  fragments in canonical variable names;
+* ``blobs`` — content-addressed payloads (SHA-256 of the bytes), used for
+  serialized UNSAT-core expression DAGs and per-test coverage bitmaps, so
+  identical payloads are stored once no matter how many rows point at them;
+* ``tests`` + ``runs`` — the test corpus (every generated test with its
+  coverage and path-prefix id, deduplicated across runs) and per-run
+  metadata for cross-run statistics.
+
+Concurrency model: **one writer** (the sequential engine, or the parallel
+coordinator), any number of read-only connections (workers).  Readers
+open with SQLite's ``mode=ro`` and never see partial schemas because the
+writer creates the schema before any reader is spawned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import sqlite3
+import time
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS constraint_cache (
+    key TEXT PRIMARY KEY,
+    is_sat INTEGER NOT NULL,
+    model BLOB,
+    created_run INTEGER
+);
+CREATE TABLE IF NOT EXISTS blobs (
+    hash TEXT PRIMARY KEY,
+    data BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS unsat_cores (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    program TEXT,
+    blob_hash TEXT NOT NULL REFERENCES blobs(hash),
+    size INTEGER NOT NULL,
+    created_run INTEGER,
+    UNIQUE(program, blob_hash)
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    program TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    mode TEXT,
+    started REAL NOT NULL,
+    wall_time REAL,
+    queries INTEGER,
+    sat_solver_runs INTEGER,
+    store_hits INTEGER,
+    cost_units INTEGER,
+    paths INTEGER,
+    tests INTEGER,
+    stats_json TEXT
+);
+CREATE TABLE IF NOT EXISTS tests (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    program TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    path_id TEXT NOT NULL,
+    line INTEGER,
+    argv BLOB NOT NULL,
+    model BLOB NOT NULL,
+    stdin BLOB NOT NULL,
+    multiplicity INTEGER NOT NULL,
+    coverage_hash TEXT REFERENCES blobs(hash),
+    created_run INTEGER,
+    UNIQUE(program, spec, kind, path_id, line)
+);
+CREATE INDEX IF NOT EXISTS idx_tests_program_spec ON tests(program, spec);
+CREATE INDEX IF NOT EXISTS idx_cores_program ON unsat_cores(program);
+"""
+
+
+class StoreError(Exception):
+    """The store file is missing, unreadable, or version-incompatible."""
+
+
+def spec_fingerprint(spec) -> str:
+    """Stable identity of a symbolic input spec (corpus rows are per-spec)."""
+    concrete = ",".join(a.hex() for a in spec.concrete_args)
+    return (
+        f"n{spec.n_args}:l{spec.arg_len}:s{spec.stdin_len}"
+        f":p{spec.prog_name.hex()}:c{concrete}"
+    )
+
+
+class ReproStore:
+    """File-backed store; ``readonly`` connections never write.
+
+    The writer runs in autocommit-per-batch mode: every public mutation
+    commits before returning, so a crash never leaves readers behind a
+    long-lived transaction.
+    """
+
+    def __init__(self, path: str | Path, readonly: bool = False):
+        self.path = str(path)
+        self.readonly = readonly
+        if readonly:
+            uri = f"file:{Path(self.path).as_posix()}?mode=ro"
+            try:
+                self.conn = sqlite3.connect(uri, uri=True)
+            except sqlite3.OperationalError as exc:
+                raise StoreError(f"cannot open store {self.path!r} read-only") from exc
+        else:
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+            self.conn = sqlite3.connect(self.path)
+            self.conn.executescript(_SCHEMA)
+            self.conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            self.conn.commit()
+        row = self.conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is not None and int(row[0]) != SCHEMA_VERSION:
+            raise StoreError(
+                f"store {self.path!r} has schema v{row[0]}, expected v{SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "ReproStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- constraint cache ----------------------------------------------------
+
+    def lookup_constraint(self, key: str) -> tuple[bool, dict[str, int] | None] | None:
+        row = self.conn.execute(
+            "SELECT is_sat, model FROM constraint_cache WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        is_sat, model_blob = row
+        model = pickle.loads(model_blob) if model_blob is not None else None
+        return bool(is_sat), model
+
+    def put_constraints(self, rows, run_id: int | None = None) -> int:
+        """Insert ``(key, is_sat, canonical_model | None)`` rows.
+
+        First write wins (``INSERT OR IGNORE``): any two correct writers
+        agree on the verdict for a canonical key, so overwriting buys
+        nothing.  Returns the number of rows actually inserted.
+        """
+        if self.readonly:
+            raise StoreError("read-only store cannot accept constraint rows")
+        before = self.conn.total_changes
+        self.conn.executemany(
+            "INSERT OR IGNORE INTO constraint_cache(key, is_sat, model, created_run)"
+            " VALUES (?, ?, ?, ?)",
+            [
+                (key, int(is_sat), None if model is None else pickle.dumps(model), run_id)
+                for key, is_sat, model in rows
+            ],
+        )
+        self.conn.commit()
+        return self.conn.total_changes - before
+
+    def constraint_count(self) -> int:
+        return self.conn.execute("SELECT COUNT(*) FROM constraint_cache").fetchone()[0]
+
+    # -- content-addressed blobs ---------------------------------------------
+
+    def put_blob(self, data: bytes) -> str:
+        if self.readonly:
+            raise StoreError("read-only store cannot accept blobs")
+        digest = hashlib.sha256(data).hexdigest()
+        self.conn.execute(
+            "INSERT OR IGNORE INTO blobs(hash, data) VALUES (?, ?)", (digest, data)
+        )
+        return digest
+
+    def get_blob(self, digest: str) -> bytes | None:
+        row = self.conn.execute(
+            "SELECT data FROM blobs WHERE hash = ?", (digest,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    # -- UNSAT cores ----------------------------------------------------------
+
+    def put_cores(self, program: str | None, payloads, run_id: int | None = None) -> int:
+        """Store serialized UNSAT-core constraint sets (original names)."""
+        if self.readonly:
+            raise StoreError("read-only store cannot accept cores")
+        inserted = 0
+        for size, payload in payloads:
+            digest = self.put_blob(payload)
+            cur = self.conn.execute(
+                "INSERT OR IGNORE INTO unsat_cores(program, blob_hash, size, created_run)"
+                " VALUES (?, ?, ?, ?)",
+                (program, digest, size, run_id),
+            )
+            inserted += cur.rowcount
+        self.conn.commit()
+        return inserted
+
+    def iter_cores(self, program: str | None, limit: int = 256) -> list[bytes]:
+        """Core payloads for ``program`` (plus program-agnostic ones), oldest
+        first so seeding order is reproducible."""
+        rows = self.conn.execute(
+            "SELECT b.data FROM unsat_cores c JOIN blobs b ON b.hash = c.blob_hash"
+            " WHERE c.program = ? OR c.program IS NULL ORDER BY c.id LIMIT ?",
+            (program, limit),
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def core_count(self) -> int:
+        return self.conn.execute("SELECT COUNT(*) FROM unsat_cores").fetchone()[0]
+
+    # -- runs ------------------------------------------------------------------
+
+    def record_run(
+        self,
+        program: str,
+        spec: str,
+        mode: str,
+        wall_time: float,
+        queries: int,
+        sat_solver_runs: int,
+        store_hits: int,
+        cost_units: int,
+        paths: int,
+        tests: int,
+        stats: dict | None = None,
+    ) -> int:
+        if self.readonly:
+            raise StoreError("read-only store cannot record runs")
+        cur = self.conn.execute(
+            "INSERT INTO runs(program, spec, mode, started, wall_time, queries,"
+            " sat_solver_runs, store_hits, cost_units, paths, tests, stats_json)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                program,
+                spec,
+                mode,
+                time.time(),
+                wall_time,
+                queries,
+                sat_solver_runs,
+                store_hits,
+                cost_units,
+                paths,
+                tests,
+                json.dumps(stats) if stats is not None else None,
+            ),
+        )
+        self.conn.commit()
+        return cur.lastrowid
+
+    def run_rows(self, program: str | None = None) -> list[tuple]:
+        if program is None:
+            return self.conn.execute("SELECT * FROM runs ORDER BY id").fetchall()
+        return self.conn.execute(
+            "SELECT * FROM runs WHERE program = ? ORDER BY id", (program,)
+        ).fetchall()
+
+    # -- test corpus ----------------------------------------------------------
+
+    def put_tests(self, program: str, spec: str, rows, run_id: int | None = None) -> int:
+        """Insert corpus rows; duplicates (same program/spec/kind/path/line)
+        from later runs are ignored, keeping the corpus a *set* of paths.
+
+        Each row: ``(kind, path_id, line, argv, model_items, stdin,
+        multiplicity, coverage | None)`` where ``coverage`` is an iterable
+        of ``(func, block)`` pairs.
+        """
+        if self.readonly:
+            raise StoreError("read-only store cannot accept tests")
+        before = self.conn.total_changes
+        for kind, path_id, line, argv, model_items, stdin, multiplicity, coverage in rows:
+            cov_hash = None
+            if coverage is not None:
+                cov_hash = self.put_blob(pickle.dumps(tuple(sorted(coverage))))
+            self.conn.execute(
+                "INSERT OR IGNORE INTO tests(program, spec, kind, path_id, line,"
+                " argv, model, stdin, multiplicity, coverage_hash, created_run)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    program,
+                    spec,
+                    kind,
+                    path_id,
+                    line if line is not None else -1,
+                    pickle.dumps(tuple(argv)),
+                    pickle.dumps(tuple(model_items)),
+                    bytes(stdin),
+                    multiplicity,
+                    cov_hash,
+                    run_id,
+                ),
+            )
+        self.conn.commit()
+        return self.conn.total_changes - before
+
+    def iter_tests(self, program: str, spec: str | None = None) -> list[dict]:
+        """Corpus rows for a program (optionally one spec), oldest first."""
+        query = (
+            "SELECT kind, path_id, line, argv, model, stdin, multiplicity,"
+            " coverage_hash FROM tests WHERE program = ?"
+        )
+        params: list = [program]
+        if spec is not None:
+            query += " AND spec = ?"
+            params.append(spec)
+        query += " ORDER BY id"
+        out = []
+        for kind, path_id, line, argv, model, stdin, mult, cov_hash in self.conn.execute(
+            query, params
+        ):
+            coverage = None
+            if cov_hash is not None:
+                blob = self.get_blob(cov_hash)
+                coverage = set(pickle.loads(blob)) if blob is not None else None
+            out.append(
+                {
+                    "kind": kind,
+                    "path_id": path_id,
+                    "line": None if line == -1 else line,
+                    "argv": pickle.loads(argv),
+                    "model": dict(pickle.loads(model)),
+                    "stdin": stdin,
+                    "multiplicity": mult,
+                    "coverage": coverage,
+                }
+            )
+        return out
+
+    def iter_test_models(
+        self, program: str, spec: str, limit: int = 64
+    ) -> list[dict[str, int]]:
+        """Most recent corpus models (newest last) for warm-start seeding."""
+        rows = self.conn.execute(
+            "SELECT model FROM tests WHERE program = ? AND spec = ?"
+            " ORDER BY id DESC LIMIT ?",
+            (program, spec, limit),
+        ).fetchall()
+        return [dict(pickle.loads(row[0])) for row in reversed(rows)]
+
+    def test_count(self, program: str | None = None) -> int:
+        if program is None:
+            return self.conn.execute("SELECT COUNT(*) FROM tests").fetchone()[0]
+        return self.conn.execute(
+            "SELECT COUNT(*) FROM tests WHERE program = ?", (program,)
+        ).fetchone()[0]
+
+    def counts(self) -> dict[str, int]:
+        """Row counts per table (diagnostics and the warm-start figure)."""
+        return {
+            "constraints": self.constraint_count(),
+            "cores": self.core_count(),
+            "tests": self.test_count(),
+            "runs": self.conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0],
+            "blobs": self.conn.execute("SELECT COUNT(*) FROM blobs").fetchone()[0],
+        }
+
+
+def open_store(
+    path: str | Path, readonly: bool = False, missing_ok: bool = True
+) -> ReproStore | None:
+    """Open (creating if a writer) a store; ``None`` for absent read-only.
+
+    Workers race the coordinator for nothing here: the writer creates the
+    file + schema before any reader is spawned, so a missing file on a
+    read-only open just means "no store yet" (every lookup will miss).
+    """
+    if readonly and not Path(path).exists():
+        if missing_ok:
+            return None
+        raise StoreError(f"store {path!r} does not exist")
+    return ReproStore(path, readonly=readonly)

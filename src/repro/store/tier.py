@@ -1,0 +1,161 @@
+"""The solver chain's persistent cache tier.
+
+:class:`PersistentTier` sits between the in-memory :class:`QueryCache`
+and independence splitting in :meth:`SolverChain._check_inner`: a query
+that misses the process-local cache is canonicalized
+(:mod:`repro.expr.canon`) and looked up in the cross-run store.  Hits
+come back as ``(is_sat, model)`` with the stored model fragment renamed
+into the query's own variables; SAT models are *verified* by evaluation
+before being trusted (a failed verification is treated as a miss), UNSAT
+verdicts rest on canonical-key soundness — the key digests the complete
+renamed constraint set, so equal keys mean α-equivalent sets.
+
+Writes never happen inline.  Every tier buffers its inserts (deduplicated
+by canonical key) and the **single writer** — the sequential engine at
+end of run, or the parallel coordinator after workers ship their buffers
+over the wire — applies them in one batch.  This keeps workers read-only
+and makes the store immune to mid-run crashes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..expr.canon import CanonResult, canonicalize
+from ..expr.evaluate import EvalError, evaluate
+from ..expr.serialize import encode_exprs
+from .db import ReproStore
+
+# Bound on the per-tier memo of canonicalizations: the same flat set is
+# looked up and then recorded, and branch queries repeat pc prefixes.
+_CANON_MEMO_LIMIT = 4096
+
+
+class PersistentTier:
+    """Chain-facing view of one store: canonical lookups + buffered inserts."""
+
+    def __init__(self, store: ReproStore | None, program: str | None = None):
+        self.store = store
+        self.program = program
+        self.writable = store is not None and not store.readonly
+        # key -> (is_sat, canonical model | None); insertion-ordered so
+        # flushes are deterministic.
+        self._pending: OrderedDict[str, tuple[bool, dict[str, int] | None]] = (
+            OrderedDict()
+        )
+        # (size, serialized exprs) payloads of extracted UNSAT cores.
+        self._pending_cores: list[tuple[int, bytes]] = []
+        self._canon_memo: OrderedDict[tuple[int, ...], CanonResult] = OrderedDict()
+        self.rejects = 0  # SAT hits whose model failed verification
+
+    # -- canonicalization ------------------------------------------------------
+
+    def _canon(self, flat) -> CanonResult:
+        memo_key = tuple(sorted(c.eid for c in flat))
+        hit = self._canon_memo.get(memo_key)
+        if hit is not None:
+            self._canon_memo.move_to_end(memo_key)
+            return hit
+        result = canonicalize(flat)
+        self._canon_memo[memo_key] = result
+        if len(self._canon_memo) > _CANON_MEMO_LIMIT:
+            self._canon_memo.popitem(last=False)
+        return result
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup(self, flat) -> tuple[bool, dict[str, int] | None] | None:
+        """Cross-run verdict for a flattened constraint set, or ``None``.
+
+        Only the durable store is consulted — never this run's pending
+        buffer; within-run reuse is the in-memory cache's job, and letting
+        a cold run hit its own fresh inserts would blur the cold/warm
+        distinction the warm-start figures measure.
+        """
+        if self.store is None:
+            return None
+        canon = self._canon(flat)
+        hit = self.store.lookup_constraint(canon.key)
+        if hit is None:
+            return None
+        is_sat, canonical_model = hit
+        if not is_sat:
+            return (False, None)
+        if canonical_model is None:
+            return (True, None)
+        model = canon.from_canonical(canonical_model)
+        try:
+            if all(evaluate(c, model) for c in flat):
+                return (True, model)
+        except EvalError:
+            pass
+        self.rejects += 1
+        return None
+
+    # -- buffered writes -------------------------------------------------------
+
+    def record(self, flat, is_sat: bool, model: dict[str, int] | None) -> bool:
+        """Buffer a verdict for the flush; True if the key is new here."""
+        canon = self._canon(flat)
+        if canon.key in self._pending:
+            return False
+        self._pending[canon.key] = (
+            is_sat,
+            canon.to_canonical(model) if model is not None else None,
+        )
+        return True
+
+    def record_core(self, core) -> None:
+        """Buffer an UNSAT core (original names) for cross-run cache seeding."""
+        import pickle
+
+        core = list(core)
+        nodes, roots = encode_exprs(core)
+        self._pending_cores.append(
+            (len(core), pickle.dumps((nodes, roots), protocol=pickle.HIGHEST_PROTOCOL))
+        )
+
+    def export_pending(self) -> dict:
+        """Picklable insert buffer for the wire (worker -> coordinator)."""
+        payload = {
+            "constraints": [
+                (key, is_sat, model) for key, (is_sat, model) in self._pending.items()
+            ],
+            "cores": list(self._pending_cores),
+            "program": self.program,
+        }
+        self._pending.clear()
+        self._pending_cores.clear()
+        return payload
+
+    def flush(self, store: ReproStore | None = None, run_id: int | None = None) -> int:
+        """Apply the buffer through ``store`` (default: our own, if writable)."""
+        target = store if store is not None else (self.store if self.writable else None)
+        if target is None:
+            self._pending.clear()
+            self._pending_cores.clear()
+            return 0
+        return apply_payload(target, self.export_pending(), run_id)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+def apply_payload(store: ReproStore, payload: dict, run_id: int | None = None) -> int:
+    """Single-writer application of an exported insert buffer."""
+    inserted = store.put_constraints(payload["constraints"], run_id=run_id)
+    if payload["cores"]:
+        store.put_cores(payload.get("program"), payload["cores"], run_id=run_id)
+    return inserted
+
+
+def decode_core(payload: bytes):
+    """Rebuild a stored UNSAT core into this process's interned expressions."""
+    import pickle
+
+    from ..expr.serialize import decode_exprs
+
+    nodes, roots = pickle.loads(payload)
+    decoded = decode_exprs(nodes)
+    return [decoded[i] for i in roots]

@@ -1,0 +1,161 @@
+"""Hypothesis round-trip properties for α-canonical constraint keys.
+
+Two α-equivalence regimes are tested, mirroring how the persistent store
+is actually used:
+
+* **cross-process rebuilds** — the same constraint templates constructed
+  in the same order over fresh variable names (what a second run of the
+  same program does).  Keys must match for the *full* operator set,
+  including commutative operators whose operand order depends on
+  interning order.
+* **arbitrary renamings** — any variable permutation, any interning
+  order, restricted to non-commutative operators (whose structure is
+  interning-order independent).  Keys must still match.
+
+Plus: constraint-list shuffles never change the key, non-equivalent sets
+differ in (at least) the structural prefix, and model fragments survive
+the rename round trip.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import ops
+from repro.expr.canon import canonical_key, canonicalize, structural_prefix
+
+# -- template AST: instantiable with arbitrary variable names ----------------
+
+_ALL_BV_OPS = ["add", "sub", "bvand", "bvor"]
+_PURE_BV_OPS = ["sub"]  # no operand reordering in the smart constructor
+_ALL_CMPS = ["ult", "sle", "eq"]
+_PURE_CMPS = ["ult", "sle"]
+
+_name_batch = itertools.count()
+
+
+def _fresh_names(k: int = 4) -> list[str]:
+    batch = next(_name_batch)
+    return [f"cn{batch}_{i}" for i in range(k)]
+
+
+def _bv_template(op_names):
+    leaf = st.one_of(
+        st.tuples(st.just("var"), st.integers(0, 3)),
+        st.tuples(st.just("const"), st.integers(0, 255)),
+    )
+    return st.recursive(
+        leaf,
+        lambda ch: st.tuples(st.sampled_from(op_names), ch, ch),
+        max_leaves=5,
+    )
+
+
+def _set_template(bv_ops, cmps):
+    constraint = st.tuples(st.sampled_from(cmps), _bv_template(bv_ops), _bv_template(bv_ops))
+    return st.lists(constraint, min_size=1, max_size=4)
+
+
+def _build_bv(tmpl, names):
+    tag = tmpl[0]
+    if tag == "var":
+        return ops.bv_var(names[tmpl[1]], 8)
+    if tag == "const":
+        return ops.bv(tmpl[1], 8)
+    return getattr(ops, tag)(_build_bv(tmpl[1], names), _build_bv(tmpl[2], names))
+
+
+def _instantiate(template, names):
+    return [
+        getattr(ops, cmp)(_build_bv(a, names), _build_bv(b, names))
+        for cmp, a, b in template
+    ]
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(template=_set_template(_ALL_BV_OPS, _ALL_CMPS))
+def test_cross_process_rebuild_same_key(template):
+    """Fresh names, same construction order — the warm-start situation."""
+    first = _instantiate(template, _fresh_names())
+    second = _instantiate(template, _fresh_names())
+    c1, c2 = canonicalize(first), canonicalize(second)
+    assert c1.key == c2.key
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    template=_set_template(_PURE_BV_OPS, _PURE_CMPS),
+    perm=st.permutations(list(range(4))),
+    intern_order=st.permutations(list(range(4))),
+)
+def test_alpha_renaming_same_key(template, perm, intern_order):
+    """Arbitrary variable permutation and interning order (non-commutative
+    operators, whose DAG shape cannot depend on interning history)."""
+    first = _instantiate(template, _fresh_names())
+    renamed = _fresh_names()
+    for i in intern_order:  # adversarial interning order for the new names
+        ops.bv_var(renamed[i], 8)
+    second = _instantiate(template, [renamed[perm[i]] for i in range(4)])
+    assert canonicalize(first).key == canonicalize(second).key
+
+
+@settings(max_examples=60, deadline=None)
+@given(template=_set_template(_ALL_BV_OPS, _ALL_CMPS), data=st.data())
+def test_shuffle_invariance(template, data):
+    constraints = _instantiate(template, _fresh_names())
+    shuffled = data.draw(st.permutations(constraints))
+    assert canonical_key(constraints) == canonical_key(list(shuffled))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    t1=_set_template(_ALL_BV_OPS, _ALL_CMPS),
+    t2=_set_template(_ALL_BV_OPS, _ALL_CMPS),
+)
+def test_structural_prefix_separates_nonequivalent(t1, t2):
+    """Sets that differ in constraint/variable/node counts cannot collide:
+    the counts *are* the leading key components."""
+    k1 = canonical_key(_instantiate(t1, _fresh_names()))
+    k2 = canonical_key(_instantiate(t2, _fresh_names()))
+    if structural_prefix(k1) != structural_prefix(k2):
+        assert k1 != k2
+    assert k1.startswith(":".join(str(p) for p in structural_prefix(k1)) + ":")
+
+
+@settings(max_examples=60, deadline=None)
+@given(template=_set_template(_ALL_BV_OPS, _ALL_CMPS), data=st.data())
+def test_model_fragment_roundtrip(template, data):
+    constraints = _instantiate(template, _fresh_names())
+    canon = canonicalize(constraints)
+    set_vars = sorted(canon.rename)
+    model = {
+        name: data.draw(st.integers(0, 255), label=name) for name in set_vars
+    }
+    canonical_model = canon.to_canonical(model)
+    assert sorted(canonical_model) == sorted(canon.rename[v] for v in set_vars)
+    assert canon.from_canonical(canonical_model) == model
+    # Strangers are dropped, not smuggled through.
+    assert canon.to_canonical({"not_in_set_xyz": 1}) == {}
+
+
+def test_key_is_deterministic_and_distinct():
+    x, y = ops.bv_var("canon_dx", 8), ops.bv_var("canon_dy", 8)
+    s = [ops.ult(x, ops.bv(5, 8)), ops.eq(y, ops.bv(3, 8))]
+    assert canonical_key(s) == canonical_key(s)
+    assert canonical_key(s) != canonical_key(s[:1])
+    assert structural_prefix(canonical_key(s))[0] == 2
+
+
+def test_symmetric_cycle_shuffle_and_rename():
+    """Fully symmetric sets (every WL tie unresolved) still canonicalize."""
+    x, y, z = (ops.bv_var(f"canon_c{i}", 8) for i in range(3))
+    a, b, c = (ops.bv_var(f"canon_r{i}", 8) for i in range(3))
+    cycle = [ops.ult(x, y), ops.ult(y, z), ops.ult(z, x)]
+    shuffled = [ops.ult(y, z), ops.ult(z, x), ops.ult(x, y)]
+    renamed = [ops.ult(b, c), ops.ult(c, a), ops.ult(a, b)]
+    assert canonical_key(cycle) == canonical_key(shuffled)
+    assert canonical_key(cycle) == canonical_key(renamed)

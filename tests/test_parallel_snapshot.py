@@ -176,3 +176,41 @@ def test_expr_codec_roundtrip_identity(exprs):
     decoded2 = decode_exprs(nodes2)
     for expr, idx in zip(exprs, roots):
         assert decoded2[idx] is expr
+
+
+# -- encoding memoization (shared subgraphs encode once per process) -----------
+
+
+def test_node_encoding_memoized_across_calls():
+    from repro.expr.serialize import serialize_stats
+
+    x = ops.bv_var("memo_x", 8)
+    expr = ops.ult(ops.add(ops.mul(x, ops.bv(3, 8)), ops.bv(1, 8)), ops.bv(40, 8))
+    encode_exprs([expr])  # first encode: whatever was fresh is now memoized
+    before = serialize_stats()
+    nodes1, roots1 = encode_exprs([expr])
+    after = serialize_stats()
+    assert after["fresh_encodes"] == before["fresh_encodes"], (
+        "re-encoding an already-encoded DAG must not re-serialize any node"
+    )
+    assert after["memo_hits"] >= before["memo_hits"] + len(nodes1)
+    # Memoization must not change the payload.
+    decoded = decode_exprs(nodes1)
+    assert decoded[roots1[0]] is expr
+
+
+def test_snapshot_reuses_sibling_encodings():
+    """Two sibling frontier states share pc prefixes and store DAGs; the
+    second snapshot should encode almost nothing fresh."""
+    from repro.expr.serialize import serialize_stats
+
+    _, states = frontier_states("wc", steps=40)
+    assert len(states) >= 2
+    states[0].snapshot()
+    before = serialize_stats()
+    states[0].snapshot()  # identical snapshot: zero fresh encodes
+    mid = serialize_stats()
+    assert mid["fresh_encodes"] == before["fresh_encodes"]
+    states[1].snapshot()  # sibling: shared subgraphs come from the memo
+    after = serialize_stats()
+    assert after["memo_hits"] > mid["memo_hits"]

@@ -1,0 +1,97 @@
+"""Assumption-core extraction: CDCL level and chain-level cache feeding."""
+
+from repro.expr import ops
+from repro.solver.portfolio import IncrementalChain
+from repro.solver.sat import CDCLSolver, SatResult
+
+
+# -- CDCL level ---------------------------------------------------------------
+
+
+def test_core_subset_of_conflicting_assumptions():
+    s = CDCLSolver()
+    a, b, c = s.new_var(), s.new_var(), s.new_var()
+    s.add_clause([-a, -b])  # a and b cannot both hold
+    assert s.solve(assumptions=[c, a, b]) == SatResult.UNSAT
+    core = s.last_core
+    assert core is not None
+    assert set(core) <= {a, b, c}
+    assert c not in core, "irrelevant assumption must not be in the core"
+    # The core alone reproduces UNSAT; the solver stays usable throughout.
+    assert s.solve(assumptions=list(core)) == SatResult.UNSAT
+    assert s.solve(assumptions=[c]) == SatResult.SAT
+    assert s.last_core is None  # SAT answers carry no core
+
+
+def test_core_on_directly_contradictory_assumptions():
+    s = CDCLSolver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([a, b])  # keep both variables referenced
+    assert s.solve(assumptions=[b, a, -a]) == SatResult.UNSAT
+    core = set(s.last_core)
+    assert a in core or -a in core
+    assert b not in core
+
+
+def test_core_through_propagation_chain():
+    s = CDCLSolver()
+    a, b, c, d = (s.new_var() for _ in range(4))
+    s.add_clause([-a, b])   # a -> b
+    s.add_clause([-b, c])   # b -> c
+    s.add_clause([-c, -d])  # c -> !d
+    assert s.solve(assumptions=[a, d]) == SatResult.UNSAT
+    assert set(s.last_core) == {a, d}
+
+
+def test_root_unsat_has_no_core():
+    s = CDCLSolver()
+    a = s.new_var()
+    s.add_clause([a])
+    s.add_clause([-a])
+    assert s.solve(assumptions=[a]) == SatResult.UNSAT
+    assert s.last_core is None  # the formula is UNSAT without assumptions
+
+
+# -- chain level: cores feed the subset-UNSAT cache tier ---------------------
+
+
+def test_incremental_chain_extracts_and_caches_core():
+    x = ops.bv_var("core_x", 8)
+    low = ops.ult(x, ops.bv(5, 8))        # x < 5
+    mid = ops.ult(x, ops.bv(20, 8))       # x < 20  (not part of the conflict)
+    high = ops.ult(ops.bv(10, 8), x)      # x > 10
+    chain = IncrementalChain(use_fastpath=False)
+
+    assert not chain.check([low, mid, high]).is_sat
+    assert chain.stats.unsat_cores == 1
+    # The cached core is the 2-constraint conflict, not the 3-set.
+    assert frozenset(c.eid for c in (low, high)) in chain.cache._unsat_sets
+
+    # A *different* superset of the core is now decided by subset-UNSAT
+    # without touching the SAT solver again.
+    probes_before = chain.stats.assumption_probes
+    other = ops.ult(ops.bv(12, 8), x)
+    assert not chain.check([low, high, other]).is_sat
+    assert chain.stats.assumption_probes == probes_before
+    assert chain.cache.hits_subset_unsat >= 1
+
+
+def test_chain_core_is_semantically_unsat():
+    x = ops.bv_var("core_y", 8)
+    constraints = [
+        ops.ult(x, ops.bv(5, 8)),
+        ops.ule(x, ops.bv(200, 8)),
+        ops.ult(ops.bv(10, 8), x),
+    ]
+    chain = IncrementalChain(use_fastpath=False)
+    assert not chain.check(constraints).is_sat
+    core_sets = list(chain.cache._unsat_sets)
+    assert core_sets, "core extraction should have populated the UNSAT sets"
+    # Every cached UNSAT set must genuinely be UNSAT (soundness of the
+    # subset tier feeding): re-check each on a fresh chain.
+    by_eid = {c.eid: c for c in constraints}
+    for key in core_sets:
+        subset = [by_eid[eid] for eid in key if eid in by_eid]
+        if len(subset) == len(key):
+            fresh = IncrementalChain(use_cache=False, use_fastpath=False)
+            assert not fresh.check(subset).is_sat

@@ -1,0 +1,171 @@
+"""repro.store: open/insert/lookup/reopen cycles, blobs, corpus, tier."""
+
+import pytest
+
+from repro.env.argv import ArgvSpec
+from repro.expr import ops
+from repro.expr.canon import canonicalize
+from repro.solver.cache import QueryCache
+from repro.store import (
+    PersistentTier,
+    ReproStore,
+    StoreError,
+    apply_payload,
+    decode_core,
+    open_store,
+    seed_query_cache,
+    spec_fingerprint,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ReproStore(tmp_path / "s.sqlite")
+
+
+X = ops.bv_var("st_x", 8)
+Y = ops.bv_var("st_y", 8)
+A = ops.ult(X, ops.bv(10, 8))
+B = ops.ult(ops.bv(3, 8), X)
+C = ops.eq(Y, ops.bv(7, 8))
+
+
+# -- constraint cache ---------------------------------------------------------
+
+
+def test_constraint_insert_lookup_reopen(store, tmp_path):
+    canon = canonicalize([A, B])
+    assert store.lookup_constraint(canon.key) is None
+    store.put_constraints([(canon.key, True, {"v0": 5})])
+    assert store.lookup_constraint(canon.key) == (True, {"v0": 5})
+    store.close()
+
+    reopened = ReproStore(tmp_path / "s.sqlite")
+    assert reopened.lookup_constraint(canon.key) == (True, {"v0": 5})
+    reopened.close()
+
+    # Read-only connections see the same data but refuse writes.
+    ro = open_store(tmp_path / "s.sqlite", readonly=True)
+    assert ro.lookup_constraint(canon.key) == (True, {"v0": 5})
+    with pytest.raises(StoreError):
+        ro.put_constraints([("k", False, None)])
+    ro.close()
+
+
+def test_first_write_wins(store):
+    store.put_constraints([("k1", False, None)])
+    store.put_constraints([("k1", True, {"v0": 1})])  # ignored duplicate
+    assert store.lookup_constraint("k1") == (False, None)
+    assert store.constraint_count() == 1
+
+
+def test_readonly_open_missing_file(tmp_path):
+    assert open_store(tmp_path / "absent.sqlite", readonly=True) is None
+    with pytest.raises(StoreError):
+        open_store(tmp_path / "absent.sqlite", readonly=True, missing_ok=False)
+
+
+# -- content-addressed blobs --------------------------------------------------
+
+
+def test_blobs_are_content_addressed(store):
+    h1 = store.put_blob(b"payload")
+    h2 = store.put_blob(b"payload")
+    assert h1 == h2
+    assert store.get_blob(h1) == b"payload"
+    assert store.counts()["blobs"] == 1
+
+
+# -- UNSAT cores through the tier --------------------------------------------
+
+
+def test_tier_core_roundtrip(store):
+    tier = PersistentTier(store, program="prog")
+    contradiction = ops.ult(X, ops.bv(2, 8))
+    tier.record_core([A, contradiction])
+    apply_payload(store, tier.export_pending())
+    payloads = store.iter_cores("prog")
+    assert len(payloads) == 1
+    core = decode_core(payloads[0])
+    # Decoded into *this* process's interned nodes: identity holds.
+    assert core == [A, contradiction]
+    # Program-scoped: other programs don't see it.
+    assert store.iter_cores("other") == []
+
+
+def test_tier_lookup_record_flush(store):
+    tier = PersistentTier(store, program="prog")
+    flat = [A, B]
+    assert tier.lookup(flat) is None  # cold store
+    assert tier.record(flat, True, {"st_x": 5})
+    assert not tier.record(flat, True, {"st_x": 5})  # deduped
+    assert tier.lookup(flat) is None  # pending buffer is not consulted
+    assert tier.flush() == 1
+    hit = tier.lookup(flat)
+    assert hit is not None and hit[0] is True
+    assert hit[1] == {"st_x": 5}  # model renamed back into our variables
+    # An α-renamed query hits the same row, model mapped to *its* names.
+    Z = ops.bv_var("st_z", 8)
+    renamed = [ops.ult(Z, ops.bv(10, 8)), ops.ult(ops.bv(3, 8), Z)]
+    hit = tier.lookup(renamed)
+    assert hit is not None and hit[0] is True
+    assert hit[1] == {"st_z": 5}
+
+
+def test_tier_rejects_bad_model(store):
+    # A corrupted row (model violating the constraints) must be treated as
+    # a miss, not trusted: SAT hits are verified by evaluation.
+    canon = canonicalize([A, B])
+    store.put_constraints([(canon.key, True, {canon.rename["st_x"]: 200})])
+    tier = PersistentTier(store, program="prog")
+    assert tier.lookup([A, B]) is None
+    assert tier.rejects == 1
+
+
+# -- run metadata & test corpus ----------------------------------------------
+
+
+def test_run_rows_and_counts(store):
+    run_id = store.record_run(
+        "echo", "spec", "plain", wall_time=0.1, queries=10, sat_solver_runs=2,
+        store_hits=0, cost_units=50, paths=18, tests=18, stats={"forks": 17},
+    )
+    assert run_id == 1
+    rows = store.run_rows("echo")
+    assert len(rows) == 1
+    assert store.counts()["runs"] == 1
+
+
+def test_corpus_dedup_and_models(store):
+    spec = ArgvSpec(n_args=1, arg_len=2)
+    fp = spec_fingerprint(spec)
+    row = ("path", "pid1", None, (b"prog", b"a"), (("arg1_b0", 97),), b"", 1,
+           {("main", "entry")})
+    assert store.put_tests("echo", fp, [row]) >= 1
+    # The same path recorded by a later run is ignored.
+    assert store.put_tests("echo", fp, [row]) == 0
+    assert store.test_count("echo") == 1
+    tests = store.iter_tests("echo", fp)
+    assert tests[0]["argv"] == (b"prog", b"a")
+    assert tests[0]["coverage"] == {("main", "entry")}
+    assert store.iter_test_models("echo", fp) == [{"arg1_b0": 97}]
+
+
+def test_seed_query_cache(store):
+    spec = ArgvSpec(n_args=1, arg_len=2)
+    fp = spec_fingerprint(spec)
+    store.put_tests(
+        "p", fp, [("path", "pid", None, (b"p",), (("st_x", 5),), b"", 1, None)]
+    )
+    tier = PersistentTier(store, program="p")
+    contradiction = ops.ult(X, ops.bv(2, 8))
+    tier.record_core([A, contradiction])
+    apply_payload(store, tier.export_pending())
+
+    cache = QueryCache()
+    models, cores = seed_query_cache(store, cache, "p", spec)
+    assert (models, cores) == (1, 1)
+    # The seeded model proves SAT by evaluation (model-reuse tier) ...
+    assert cache.lookup([ops.eq(X, ops.bv(5, 8))]) == (True, {"st_x": 5})
+    # ... and the seeded core powers subset-UNSAT on supersets.
+    assert cache.lookup([A, contradiction, C]) == (False, None)

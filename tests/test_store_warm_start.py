@@ -1,0 +1,152 @@
+"""Warm-start differential: cold vs. warm runs against one store.
+
+The store's core promise (ISSUE 3 acceptance): a second run against a
+populated store performs strictly fewer bottom-tier full blasts
+(``sat_solver_runs``), emits the identical test multiset and coverage,
+and a parallel run sharing one store still balances its stats ledger.
+"""
+
+import pytest
+
+from repro.env.runner import run_symbolic
+from repro.experiments.harness import RunSettings, run_parallel_cell
+from repro.store import open_store
+
+# Small corpus programs that still exercise the SAT solver bottom tier.
+WARM_PROGRAMS = ["echo", "sleep", "cut"]
+
+
+def _multiset(cases):
+    return sorted((c.kind, c.argv, c.model, c.line, c.stdin) for c in cases)
+
+
+@pytest.mark.parametrize("program", WARM_PROGRAMS)
+def test_warm_start_differential(program, tmp_path):
+    path = str(tmp_path / "store.sqlite")
+    cold = run_symbolic(program, generate_tests=True, store_path=path)
+    warm = run_symbolic(program, generate_tests=True, store_path=path)
+
+    # Identity: store hits are verdict-neutral, so the explored path
+    # space, the (deterministically generated) tests, and coverage match.
+    assert warm.paths == cold.paths
+    assert _multiset(warm.tests.cases) == _multiset(cold.tests.cases)
+    assert warm.engine.coverage.covered == cold.engine.coverage.covered
+
+    # Savings: strictly fewer full blasts (the acceptance criterion).
+    assert cold.solver_stats.sat_solver_runs > 0
+    assert warm.solver_stats.sat_solver_runs < cold.solver_stats.sat_solver_runs
+    assert warm.solver_stats.store_hits > 0
+    assert warm.stats.warm_models_seeded > 0
+
+    # Cross-run metadata landed: two run rows, a non-empty corpus.
+    store = open_store(path, readonly=True)
+    assert len(store.run_rows(program)) == 2
+    assert store.test_count(program) == len(cold.tests.cases)
+    assert store.constraint_count() > 0
+    store.close()
+
+
+def test_warm_start_third_run_stable(tmp_path):
+    """Repeated warm runs stay warm (the corpus dedups, nothing regresses)."""
+    path = str(tmp_path / "store.sqlite")
+    run_symbolic("echo", generate_tests=True, store_path=path)
+    second = run_symbolic("echo", generate_tests=True, store_path=path)
+    third = run_symbolic("echo", generate_tests=True, store_path=path)
+    assert third.solver_stats.sat_solver_runs <= second.solver_stats.sat_solver_runs
+    assert _multiset(third.tests.cases) == _multiset(second.tests.cases)
+    store = open_store(path, readonly=True)
+    assert store.test_count("echo") == len(third.tests.cases)  # deduplicated
+    store.close()
+
+
+def test_parallel_shared_store_ledger(tmp_path):
+    """2-worker run with a shared store: single-writer commit + exact ledger."""
+    path = str(tmp_path / "store.sqlite")
+    settings = RunSettings(
+        program="wc", mode="plain", generate_tests=True, store_path=path
+    )
+    cold = run_parallel_cell(settings, workers=2, backend="inline")
+    cold.check_ledger()
+    warm = run_parallel_cell(settings, workers=2, backend="inline")
+    warm.check_ledger()
+
+    assert _multiset(warm.tests.cases) == _multiset(cold.tests.cases)
+    assert warm.covered == cold.covered
+    assert warm.solver_stats.sat_solver_runs < cold.solver_stats.sat_solver_runs
+    assert warm.solver_stats.store_hits > 0
+
+    # The coordinator (single writer) persisted the workers' buffered
+    # inserts: the store carries constraints answered only inside workers.
+    store = open_store(path, readonly=True)
+    counts = store.counts()
+    assert counts["constraints"] > 0
+    assert counts["runs"] == 2
+    assert counts["tests"] == len(cold.tests.cases)
+    store.close()
+
+
+def test_sequential_and_parallel_share_one_store(tmp_path):
+    """A store written by a sequential run warms a parallel one, and back."""
+    path = str(tmp_path / "store.sqlite")
+    seq = run_symbolic("wc", generate_tests=True, store_path=path)
+    settings = RunSettings(
+        program="wc", mode="plain", generate_tests=True, store_path=path
+    )
+    par = run_parallel_cell(settings, workers=2, backend="inline")
+    par.check_ledger()
+    assert par.solver_stats.store_hits > 0
+    assert _multiset(par.tests.cases) == _multiset(seq.tests.cases)
+    seq2 = run_symbolic("wc", generate_tests=True, store_path=path)
+    assert seq2.solver_stats.sat_solver_runs < seq.solver_stats.sat_solver_runs
+
+
+def test_warm_start_across_processes(tmp_path):
+    """Cross-process warm start: keys must not depend on interning history.
+
+    Regression test for the subtle failure mode where warm-start core
+    decoding at engine construction perturbs the interning order, flips
+    eid-ordered commutative operands, and silently changes every
+    path_id/canonical key — duplicating the corpus and losing store hits.
+    Operand orientation is structural (``Expr.skey``) precisely so this
+    holds; a cold and a warm *process* must agree on all keys.
+    """
+    import json
+    import os
+    import subprocess
+    import sys
+
+    path = str(tmp_path / "store.sqlite")
+    code = (
+        "import json, sys\n"
+        "from repro.env.runner import run_symbolic\n"
+        "r = run_symbolic('wc', generate_tests=True, store_path=sys.argv[1])\n"
+        "print(json.dumps({'blasts': r.solver_stats.sat_solver_runs,\n"
+        "                  'hits': r.solver_stats.store_hits,\n"
+        "                  'cases': len(r.tests.cases),\n"
+        "                  'models': sorted(c.model for c in r.tests.cases)}))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+
+    def run_once():
+        proc = subprocess.run(
+            [sys.executable, "-c", code, path],
+            capture_output=True, text=True, env=env, timeout=120,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    cold = run_once()
+    warm = run_once()
+    assert warm["models"] == cold["models"], "warm process changed the tests"
+    assert warm["blasts"] < cold["blasts"]
+    assert warm["hits"] > 0
+
+    from repro.store import open_store
+
+    store = open_store(path, readonly=True)
+    # Perfect cross-process dedup: the second run re-derived identical
+    # path ids for every path, adding zero corpus rows.
+    assert store.test_count("wc") == cold["cases"]
+    store.close()
