@@ -108,3 +108,46 @@ def test_incremental_branch_stream(benchmark):
     assert verdicts == fresh_verdicts
     assert chain.stats.sat_solver_runs < fresh.stats.sat_solver_runs
     assert chain.stats.incremental_reuses > 0
+
+
+def test_presolve_branch_stream(benchmark):
+    """The same branch stream with the pre-solve tier enabled.
+
+    The abstract domains answer a share of the probes before blasting and
+    incrementally extend per-prefix environments; verdicts must match the
+    tier-less chain exactly (the fastpath neutrality law).
+    """
+    from repro.solver.portfolio import IncrementalChain
+
+    x = ops.bv_var("ix", 8)
+    y = ops.bv_var("iy", 8)
+    conds = [ops.ult(ops.bv(k, 8), ops.add(x, ops.mul(y, ops.bv(3, 8))))
+             for k in range(12)]
+
+    def drive(chain):
+        verdicts = []
+        pc = []
+        for cond in conds:
+            then_res, else_res = chain.check_branch(pc, cond)
+            verdicts.append((then_res.is_sat, else_res.is_sat))
+            if then_res.is_sat:
+                pc = pc + [cond]
+            elif else_res.is_sat:
+                pc = pc + [ops.not_(cond)]
+        return verdicts
+
+    bare = IncrementalChain(use_cache=False, use_fastpath=False)
+    bare_verdicts = drive(bare)
+
+    def run():
+        chain = IncrementalChain(use_cache=False)
+        return drive(chain), chain
+
+    verdicts, chain = benchmark(run)
+    assert verdicts == bare_verdicts
+    assert chain.stats.fastpath_hits > 0
+    assert chain.stats.fastpath_hits == (
+        chain.stats.presolve_hits_sat + chain.stats.presolve_hits_unsat
+    )
+    assert chain.stats.presolve_env_reuses > 0
+    assert chain.stats.cost_units < bare.stats.cost_units

@@ -6,6 +6,10 @@ test corpus; the second (warm) run answers most solver queries from the
 store and from corpus-seeded cache tiers — fewer full bit-blasts, same
 tests, same coverage.
 
+The presolve tier is disabled for both runs: it would answer nearly every
+bottom-tier query on these small programs itself, hiding exactly the
+differential this example is meant to show (what the *store* saves).
+
     python examples/warm_start.py [program] [store.sqlite]
 """
 
@@ -36,9 +40,11 @@ def main() -> int:
         store_path = str(Path(tempfile.mkdtemp(prefix="repro-store-")) / "warm.sqlite")
     print(f"store: {store_path}\n")
 
-    cold = run_symbolic(program, generate_tests=True, store_path=store_path)
+    cold = run_symbolic(program, generate_tests=True, store_path=store_path,
+                        solver_fastpath=False)
     describe("cold", cold)
-    warm = run_symbolic(program, generate_tests=True, store_path=store_path)
+    warm = run_symbolic(program, generate_tests=True, store_path=store_path,
+                        solver_fastpath=False)
     describe("warm", warm)
 
     same_tests = sorted(c.model for c in cold.tests.cases) == sorted(

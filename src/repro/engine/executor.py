@@ -427,6 +427,11 @@ class Engine:
         self.stats.solver_store_misses = solver_stats.store_misses
         self.stats.solver_store_inserts = solver_stats.store_inserts
         self.stats.solver_unsat_cores = solver_stats.unsat_cores
+        self.stats.solver_fastpath_hits = solver_stats.fastpath_hits
+        self.stats.solver_presolve_hits_sat = solver_stats.presolve_hits_sat
+        self.stats.solver_presolve_hits_unsat = solver_stats.presolve_hits_unsat
+        self.stats.solver_presolve_rewrites = solver_stats.presolve_rewrites
+        self.stats.solver_presolve_env_reuses = solver_stats.presolve_env_reuses
 
     def export_frontier(self, max_states: int) -> list[SymState]:
         """Remove and return up to ``max_states`` worklist states.

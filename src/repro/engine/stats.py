@@ -59,6 +59,14 @@ class EngineStats:
     solver_store_misses: int = 0
     solver_store_inserts: int = 0
     solver_unsat_cores: int = 0
+    # Pre-solve tier mirrors (repro.solver.presolve): queries answered by
+    # the abstract domains, boundary rewrites, and incremental environment
+    # reuses.  ``solver_fastpath_hits`` equals hits_sat + hits_unsat.
+    solver_fastpath_hits: int = 0
+    solver_presolve_hits_sat: int = 0
+    solver_presolve_hits_unsat: int = 0
+    solver_presolve_rewrites: int = 0
+    solver_presolve_env_reuses: int = 0
     # Warm-start seeding volume (0 on cold runs / without a store).
     warm_models_seeded: int = 0
     warm_cores_seeded: int = 0

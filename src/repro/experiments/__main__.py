@@ -29,6 +29,7 @@ from .figures import (
     fig8_coverage,
     fig9_dsm_vs_ssm,
     parallel_scaling,
+    presolve_ablation,
     warm_start,
 )
 from .report import save_json
@@ -44,6 +45,7 @@ FIGURES = {
     "parallel": parallel_scaling,
     "warm": warm_start,
     "cache": cache_report,
+    "presolve": presolve_ablation,
 }
 
 
@@ -59,12 +61,21 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the evaluation figures of Kuznetsov et al., PLDI 2012.",
     )
     parser.add_argument("figure", nargs="?", default="all",
-                        choices=["all", *FIGURES], help="which figure to run")
+                        choices=["all", "bench", *FIGURES], help="which figure to run")
     parser.add_argument("--scale", default="ci", choices=["ci", "paper"],
                         help="input sizes / budgets preset")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also dump raw rows as JSON into DIR")
+    parser.add_argument("--out", metavar="FILE", default="BENCH_PR4.json",
+                        help="output path for the `bench` baseline document")
     args = parser.parse_args(argv)
+
+    if args.figure == "bench":
+        from .bench import run_bench
+
+        doc = run_bench(args.out, args.scale)
+        print(f"wrote {args.out} ({doc['total_wall_s']}s)")
+        return 0
 
     names = list(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:

@@ -1,0 +1,194 @@
+"""Perf-trajectory benchmark runner: the ``BENCH_PR*.json`` baseline.
+
+``python -m repro.experiments bench --out BENCH_PR4.json`` runs a fixed
+set of micro-solver kernels and merge-heavy engine cells and writes one
+JSON document with wall-clock numbers, deterministic cost units,
+``sat_solver_runs`` and presolve hit rates.  Committing the file gives
+future PRs a baseline to diff perf work against: absolute timings are
+host-dependent, but the deterministic counters (queries, blasts, hits,
+cost units) must only move when a PR intends them to.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import time
+
+from ..expr import ops
+from ..solver.bitblast import check_sat
+from ..solver.portfolio import IncrementalChain, SolverChain
+from ..solver.sat import CDCLSolver
+from .harness import RunSettings, cost_of, run_cell
+
+# Merge-heavy cells: the DSM/SSM mini corpus the presolve ablation targets.
+ENGINE_CELLS = [
+    ("echo", "ssm-qce"),
+    ("cat", "dsm-qce"),
+    ("uniq", "ssm-qce"),
+    ("wc", "dsm-qce"),
+]
+
+
+def _timed(fn, repeats: int = 3):
+    """Best-of-N wall clock plus the final return value."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _pigeonhole_solver(holes: int) -> CDCLSolver:
+    pigeons = holes + 1
+    solver = CDCLSolver()
+    var = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        solver.add_clause([var[p][h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var[p1][h], -var[p2][h]])
+    return solver
+
+
+def _micro_solver_rows() -> list[dict]:
+    rows: list[dict] = []
+
+    t, _ = _timed(lambda: _pigeonhole_solver(5).solve())
+    rows.append({"name": "cdcl_pigeonhole_php6_5", "wall_s": round(t, 4)})
+
+    def random_3sat():
+        solver = CDCLSolver()
+        variables = [solver.new_var() for _ in range(60)]
+        rng = random.Random(7)
+        for _ in range(240):
+            solver.add_clause(
+                [rng.choice(variables) * rng.choice((1, -1)) for _ in range(3)]
+            )
+        return solver.solve()
+
+    t, _ = _timed(random_3sat)
+    rows.append({"name": "cdcl_random_3sat_60v_240c", "wall_s": round(t, 4)})
+
+    x = ops.bv_var("bx", 8)
+    y = ops.bv_var("by", 8)
+    goal = [ops.eq(ops.mul(x, y), ops.bv(221, 8)), ops.ult(ops.bv(1, 8), x),
+            ops.ult(x, y)]
+    t, _ = _timed(lambda: check_sat(goal))
+    rows.append({"name": "bitblast_mul_equation", "wall_s": round(t, 4)})
+
+    conds = [ops.ult(ops.bv(k, 8), ops.add(x, ops.mul(y, ops.bv(3, 8))))
+             for k in range(12)]
+
+    def branch_stream(chain):
+        pc: list = []
+        for cond in conds:
+            then_res, else_res = chain.check_branch(pc, cond)
+            if then_res.is_sat:
+                pc = pc + [cond]
+            elif else_res.is_sat:
+                pc = pc + [ops.not_(cond)]
+        return chain
+
+    for label, factory in (
+        ("fresh_noopt", lambda: SolverChain(use_cache=False, use_fastpath=False)),
+        ("incremental_noopt", lambda: IncrementalChain(use_cache=False, use_fastpath=False)),
+        ("incremental_presolve", lambda: IncrementalChain(use_cache=False)),
+    ):
+        t, chain = _timed(lambda factory=factory: branch_stream(factory()))
+        rows.append(
+            {
+                "name": f"branch_stream_{label}",
+                "wall_s": round(t, 4),
+                "sat_solver_runs": chain.stats.sat_solver_runs,
+                "queries": chain.stats.queries,
+                "fastpath_hits": chain.stats.fastpath_hits,
+                "cost_units": chain.stats.cost_units,
+            }
+        )
+    return rows
+
+
+def _engine_cell_rows(scale: str) -> list[dict]:
+    cap = 20000 if scale == "ci" else 120000
+    rows: list[dict] = []
+    for program, mode in ENGINE_CELLS:
+        result = run_cell(
+            RunSettings(program=program, mode=mode, max_steps=cap, generate_tests=True)
+        )
+        s = result.solver_stats
+        hits = s.presolve_hits_sat + s.presolve_hits_unsat
+        # Hit rate over bottom-tier-bound group checks: presolve answers
+        # plus the probes that still reached the persistent blasters.
+        bound = hits + s.assumption_probes
+        rows.append(
+            {
+                "program": program,
+                "mode": mode,
+                "wall_s": round(result.stats.wall_time, 4),
+                "paths": result.paths,
+                "tests": len(result.tests.cases),
+                "queries": s.queries,
+                "sat_solver_runs": s.sat_solver_runs,
+                "cost_units": cost_of(result),
+                "presolve_hits_sat": s.presolve_hits_sat,
+                "presolve_hits_unsat": s.presolve_hits_unsat,
+                "presolve_rewrites": s.presolve_rewrites,
+                "presolve_env_reuses": s.presolve_env_reuses,
+                "presolve_hit_rate": round(hits / bound, 4) if bound else 0.0,
+            }
+        )
+    return rows
+
+
+def run_bench(out_path: str = "BENCH_PR4.json", scale: str = "ci") -> dict:
+    """Run the benchmark corpus and persist the baseline document."""
+    from .figures import presolve_ablation
+
+    start = time.perf_counter()
+    micro = _micro_solver_rows()
+    cells = _engine_cell_rows(scale)
+    ablation = presolve_ablation(scale=scale)
+    doc = {
+        "bench": "PR4 presolve-tier baseline",
+        "scale": scale,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "micro_solver": micro,
+        "engine_cells": cells,
+        "presolve_ablation": {
+            "blast_reduction": round(ablation.blast_reduction(), 4),
+            "hit_rate": round(ablation.hit_rate(), 4),
+            "sat_runs_off": sum(r.sat_runs_off for r in ablation.rows),
+            "sat_runs_on": sum(r.sat_runs_on for r in ablation.rows),
+        },
+        "total_wall_s": round(time.perf_counter() - start, 2),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.bench",
+        description="Write the perf-trajectory baseline (BENCH_PR4.json).",
+    )
+    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    args = parser.parse_args(argv)
+    doc = run_bench(args.out, args.scale)
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

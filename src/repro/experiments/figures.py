@@ -529,6 +529,145 @@ def incremental_ablation(
 
 
 # ---------------------------------------------------------------------------
+# Presolve ablation — abstract-domain pre-solve tier vs. bit-blast-only chain
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PresolveRow:
+    program: str
+    mode: str
+    paths: int
+    queries: int
+    sat_runs_off: int
+    sat_runs_on: int
+    presolve_sat: int
+    presolve_unsat: int
+    rewrites: int
+    env_reuses: int
+    probes_on: int
+    cost_off: int
+    cost_on: int
+
+
+@dataclass
+class PresolveAblationResult:
+    rows: list[PresolveRow] = field(default_factory=list)
+
+    def table(self) -> str:
+        data = [
+            [
+                r.program,
+                r.mode,
+                r.paths,
+                r.queries,
+                r.sat_runs_off,
+                r.sat_runs_on,
+                r.presolve_sat,
+                r.presolve_unsat,
+                r.rewrites,
+                r.env_reuses,
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "mode", "paths", "queries", "blasts(off)", "blasts(on)",
+             "pre-SAT", "pre-UNSAT", "rewrites", "env reuse"],
+            data,
+            title=(
+                "Presolve ablation — abstract-domain tier vs. bit-blast-only "
+                "chain (identical tests & coverage enforced; expect far fewer "
+                "blasts with the tier on)"
+            ),
+        )
+
+    def blast_reduction(self) -> float:
+        """Aggregate on/off full-blast ratio (lower = better)."""
+        off = sum(r.sat_runs_off for r in self.rows)
+        on = sum(r.sat_runs_on for r in self.rows)
+        return on / off if off else 1.0
+
+    def hit_rate(self) -> float:
+        """Fraction of bottom-tier-bound group checks answered by the tier.
+
+        A query splits into independence groups, so presolve hits are
+        per-group events; the honest denominator is hits plus the group
+        checks that still reached the bottom tier (assumption probes).
+        """
+        hits = sum(r.presolve_sat + r.presolve_unsat for r in self.rows)
+        reached = sum(r.probes_on for r in self.rows)
+        total = hits + reached
+        return hits / total if total else 0.0
+
+
+def presolve_ablation(
+    scale: str = CI, programs=None, modes=("dsm-qce", "ssm-qce")
+) -> PresolveAblationResult:
+    """Run each merge-heavy cell twice — presolve tier off, then on.
+
+    The differential this figure *enforces* (it raises on violation — the
+    CI presolve smoke job runs it as an assertion):
+
+    * **neutrality** — the tier-on run emits the byte-identical test
+      multiset, coverage, and path space as the bit-blast-only run; only
+      which tier answers (and hence the counters) may change;
+    * **savings** — the tier answers a nonzero share of queries, and
+      across the corpus the tier-on runs perform at least 25% fewer
+      bottom-tier full blasts (``sat_solver_runs``).
+    """
+    programs = programs or ["echo", "cat", "uniq", "wc"]
+    cap = _budget(scale, 20000, 120000)
+    rows: list[PresolveRow] = []
+    for program in programs:
+        for mode in modes:
+            base = dict(program=program, mode=mode, max_steps=cap, generate_tests=True)
+            off = run_cell(RunSettings(solver_fastpath=False, **base))
+            on = run_cell(RunSettings(solver_fastpath=True, **base))
+            if _test_multiset(on.tests.cases) != _test_multiset(off.tests.cases):
+                raise AssertionError(
+                    f"{program}/{mode}: presolve tier changed the test multiset"
+                )
+            if on.engine.coverage.covered != off.engine.coverage.covered:
+                raise AssertionError(f"{program}/{mode}: presolve tier changed coverage")
+            if on.paths != off.paths:
+                raise AssertionError(
+                    f"{program}/{mode}: presolve tier changed the path space "
+                    f"({off.paths} vs {on.paths})"
+                )
+            s_on = on.solver_stats
+            rows.append(
+                PresolveRow(
+                    program=program,
+                    mode=mode,
+                    paths=on.paths,
+                    queries=s_on.queries,
+                    sat_runs_off=off.solver_stats.sat_solver_runs,
+                    sat_runs_on=s_on.sat_solver_runs,
+                    presolve_sat=s_on.presolve_hits_sat,
+                    presolve_unsat=s_on.presolve_hits_unsat,
+                    rewrites=s_on.presolve_rewrites,
+                    env_reuses=s_on.presolve_env_reuses,
+                    probes_on=s_on.assumption_probes + (
+                        # Fresh-blast cells have no probes; every blast is
+                        # a bottom-tier reach.
+                        s_on.sat_solver_runs if s_on.assumption_probes == 0 else 0
+                    ),
+                    cost_off=cost_of(off),
+                    cost_on=cost_of(on),
+                )
+            )
+    result = PresolveAblationResult(rows=rows)
+    if result.hit_rate() <= 0.0:
+        raise AssertionError("presolve tier answered zero queries on the corpus")
+    if result.blast_reduction() > 0.75:
+        raise AssertionError(
+            "presolve tier saved fewer than 25% of full blasts "
+            f"(on/off ratio {result.blast_reduction():.3f})"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Parallel scaling — coordinator/worker partitioned exploration speedup
 # ---------------------------------------------------------------------------
 
@@ -678,8 +817,12 @@ def warm_start(
         store_path = os.path.join(tmpdir, "warm.sqlite")
     rows: list[WarmRow] = []
     for program in programs:
+        # The presolve tier would answer most of these programs' queries
+        # before the bottom tier is ever reached; disable it so the cold/
+        # warm differential isolates exactly what the *store* saves.
         settings = RunSettings(
-            program=program, mode=mode, generate_tests=True, store_path=store_path
+            program=program, mode=mode, generate_tests=True, store_path=store_path,
+            solver_fastpath=False,
         )
         cold = run_cell(settings)
         warm = run_cell(settings)

@@ -51,6 +51,9 @@ class RunSettings:
     generate_tests: bool = False
     seed: int = 0
     solver_incremental: bool = True
+    # Pre-solve tier (abstract domains + boundary rewriting) ahead of
+    # bit-blasting; off = the pure bit-blast-only chain of the ablation.
+    solver_fastpath: bool = True
     # Persistent cross-run store (repro.store); None = cold, stateless run.
     store_path: str | None = None
     warm_start: bool = True
@@ -82,6 +85,7 @@ def settings_to_spec_config(settings: RunSettings) -> tuple[ArgvSpec, EngineConf
         generate_tests=settings.generate_tests,
         seed=settings.seed,
         solver_incremental=settings.solver_incremental,
+        solver_fastpath=settings.solver_fastpath,
         store_path=settings.store_path,
         warm_start=settings.warm_start,
     )

@@ -97,18 +97,22 @@ def _structural_key(
     value: int | None,
     name: str | None,
     params: tuple[int, ...],
+    # Hot path: bind module globals as defaults so the interning loop does
+    # no global lookups (measured via benchmarks/test_micro_engine.py).
+    _prime: int = _FNV_PRIME,
+    _m64: int = _M64,
 ) -> int:
     h = _FNV_OFFSET
-    h = ((h ^ _label_code(kind)) * _FNV_PRIME) & _M64
-    h = ((h ^ (sort.width if isinstance(sort, BVSort) else 0)) * _FNV_PRIME) & _M64
+    h = ((h ^ _label_code(kind)) * _prime) & _m64
+    h = ((h ^ getattr(sort, "width", 0)) * _prime) & _m64
     if value is not None:
-        h = ((h ^ (value + 1)) * _FNV_PRIME) & _M64
+        h = ((h ^ (value + 1)) * _prime) & _m64
     if name is not None:
-        h = ((h ^ _label_code(name)) * _FNV_PRIME) & _M64
+        h = ((h ^ _label_code(name)) * _prime) & _m64
     for p in params:
-        h = ((h ^ (p + 2)) * _FNV_PRIME) & _M64
+        h = ((h ^ (p + 2)) * _prime) & _m64
     for child in children:  # order-sensitive: non-commutative kinds differ
-        h = ((h ^ child.skey) * _FNV_PRIME) & _M64
+        h = ((h ^ child.skey) * _prime) & _m64
     return h
 
 
@@ -183,7 +187,10 @@ class Expr:
         node.eid = _next_id
         _next_id += 1
         node.skey = _structural_key(kind, sort, children, value, name, params)
-        node._hash = hash((kind, id(sort), tuple(c.eid for c in children), value, name, params))
+        # Equality is identity, so any per-object constant is a valid hash;
+        # reusing the structural key skips building a second key tuple on
+        # every intern miss (interning hot path).
+        node._hash = node.skey
         node._vars = None
         node._depth = None
         _intern_table[key] = node
@@ -229,7 +236,13 @@ class Expr:
 
     @property
     def variables(self) -> frozenset[str]:
-        """Names of all variables occurring in this expression (cached)."""
+        """Names of all variables occurring in this expression (cached).
+
+        The common shapes — a constant operand, or one operand's variables
+        containing the other's — reuse a child's frozenset instead of
+        allocating a fresh one, so most of a run's expressions share a
+        handful of variable sets.
+        """
         cached = self._vars
         if cached is None:
             if self.kind == VAR:
@@ -237,10 +250,15 @@ class Expr:
             elif not self.children:
                 cached = frozenset()
             else:
-                acc: set[str] = set()
-                for child in self.children:
-                    acc |= child.variables
-                cached = frozenset(acc)
+                cached = self.children[0].variables
+                for child in self.children[1:]:
+                    cv = child.variables
+                    if cv is cached or cv <= cached:
+                        continue
+                    if cached <= cv:
+                        cached = cv
+                    else:
+                        cached = cached | cv
             self._vars = cached
         return cached
 

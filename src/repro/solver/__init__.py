@@ -9,6 +9,7 @@ from .bitblast import BitBlaster, check_sat
 from .cache import QueryCache
 from .domains import quick_check
 from .independence import relevant_constraints, split_independent
+from .presolve import PresolveEnv, PresolveManager, simplify_group
 from .portfolio import (
     CheckResult,
     IncrementalChain,
@@ -24,6 +25,8 @@ __all__ = [
     "CDCLSolver",
     "CheckResult",
     "IncrementalChain",
+    "PresolveEnv",
+    "PresolveManager",
     "QueryCache",
     "SatResult",
     "SolverChain",
@@ -34,5 +37,6 @@ __all__ = [
     "luby",
     "quick_check",
     "relevant_constraints",
+    "simplify_group",
     "split_independent",
 ]

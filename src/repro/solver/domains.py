@@ -1,39 +1,35 @@
-"""Incomplete fast-path checks that avoid bit-blasting.
+"""Incomplete fast-path checks that avoid bit-blasting (legacy facade).
 
-KLEE answers most queries without reaching STP, via cheap syntactic and
-value-based reasoning.  This module plays that role with three layers:
+The one-shot equality/interval/probing fast path that used to live here is
+now a thin wrapper over :mod:`repro.solver.presolve`, which generalizes it
+into a stateful tier: a work-list interval fixpoint (subsuming the old
+``_refine_env_from`` single pass), a known-bits domain that stays precise
+through merge-produced ``ite`` expressions, and equality/constant
+propagation — maintained *incrementally* per path prefix instead of being
+rebuilt from scratch on every group, which was this module's per-call
+waste.
 
-1. **Equality propagation** — bindings of the form ``var == const`` are
-   substituted into the remaining constraints; the smart constructors fold
-   the result, often to ``true``/``false``.
-2. **Candidate probing** — a few deterministic candidate assignments (all
-   zeros, bound values, printable-byte fill, ...) are *evaluated*; any hit
-   proves SAT with a model in hand.
-3. **Interval refutation** — sound unsigned intervals are computed for each
-   side of a comparison; disjoint intervals refute satisfiable-looking
-   constraints without search.
-
-All answers are sound; ``unknown`` falls through to the bit-blaster.
+:func:`quick_check` keeps its historical contract: a sound, incomplete
+``('sat', model) | ('unsat', None) | ('unknown', None)`` decision that is a
+pure function of the constraint set (the deterministic test-generation
+chain relies on that purity).
 """
 
 from __future__ import annotations
 
-from ..expr import nodes as N
-from ..expr import ops
-from ..expr.evaluate import EvalError, evaluate
 from ..expr.nodes import Expr
-from ..expr.sorts import to_unsigned
-from ..expr.subst import substitute
+from .presolve import SAT, UNKNOWN, UNSAT, one_shot_check
 
-SAT = "sat"
-UNSAT = "unsat"
-UNKNOWN = "unknown"
-
-FULL = None  # marker: full-range interval
+FULL = None  # marker: full-range interval (kept for API compatibility)
 
 
 class IntervalEnv:
-    """Unsigned intervals [lo, hi] for variables, refined from constraints."""
+    """Unsigned intervals [lo, hi] for variables, refined from constraints.
+
+    Retained for callers that want a standalone interval map; the solver
+    chain itself now uses :class:`repro.solver.presolve.PresolveEnv`, which
+    fuses intervals with known bits and boolean facts.
+    """
 
     def __init__(self) -> None:
         self.ranges: dict[str, tuple[int, int]] = {}
@@ -51,236 +47,9 @@ class IntervalEnv:
         return True
 
 
-def _interval(e: Expr, env: IntervalEnv) -> tuple[int, int] | None:
-    """Sound unsigned interval of a bitvector expression, or None (= full).
-
-    Only returns a non-full interval when no wraparound is possible, so the
-    result is always a true over-approximation.
-    """
-    kind = e.kind
-    if kind == N.CONST:
-        return (e.value, e.value)
-    if kind == N.VAR:
-        return env.get(e.name, e.width)
-    max_val = (1 << e.width) - 1
-    if kind == N.ADD:
-        a = _interval(e.children[0], env)
-        b = _interval(e.children[1], env)
-        if a is None or b is None:
-            return None
-        lo, hi = a[0] + b[0], a[1] + b[1]
-        return (lo, hi) if hi <= max_val else None
-    if kind == N.SUB:
-        a = _interval(e.children[0], env)
-        b = _interval(e.children[1], env)
-        if a is None or b is None:
-            return None
-        lo, hi = a[0] - b[1], a[1] - b[0]
-        return (lo, hi) if lo >= 0 else None
-    if kind == N.MUL:
-        a = _interval(e.children[0], env)
-        b = _interval(e.children[1], env)
-        if a is None or b is None:
-            return None
-        hi = a[1] * b[1]
-        return (a[0] * b[0], hi) if hi <= max_val else None
-    if kind == N.ZEXT:
-        return _interval(e.children[0], env)
-    if kind == N.ITE:
-        t = _interval(e.children[1], env)
-        f = _interval(e.children[2], env)
-        if t is None or f is None:
-            return None
-        return (min(t[0], f[0]), max(t[1], f[1]))
-    if kind == N.UREM:
-        b = _interval(e.children[1], env)
-        if b is not None and b[0] >= 1:
-            return (0, b[1] - 1)
-        return None
-    if kind == N.UDIV:
-        a = _interval(e.children[0], env)
-        b = _interval(e.children[1], env)
-        if a is not None and b is not None and b[0] >= 1:
-            return (a[0] // b[1], a[1] // b[0])
-        return None
-    if kind == N.EXTRACT:
-        hi_bit, lo_bit = e.params
-        if lo_bit == 0:
-            inner = _interval(e.children[0], env)
-            if inner is not None and inner[1] <= (1 << (hi_bit + 1)) - 1:
-                return inner
-        return None
-    if kind == N.BVAND:
-        a = _interval(e.children[0], env)
-        b = _interval(e.children[1], env)
-        hi_bound = min(a[1] if a else max_val, b[1] if b else max_val)
-        return (0, hi_bound)
-    if kind in (N.LSHR, N.UREM, N.BVXOR, N.BVOR, N.SHL):
-        return None
-    return None
-
-
-def _refute_by_intervals(conjunct: Expr, env: IntervalEnv) -> bool:
-    """True if intervals prove this (non-constant) conjunct is unsatisfiable."""
-    kind = conjunct.kind
-    if kind in (N.EQ, N.ULT, N.ULE) and conjunct.children[0].is_bv():
-        a = _interval(conjunct.children[0], env)
-        b = _interval(conjunct.children[1], env)
-        if a is None or b is None:
-            return False
-        if kind == N.EQ:
-            return a[1] < b[0] or b[1] < a[0]
-        if kind == N.ULT:
-            return a[0] >= b[1]
-        if kind == N.ULE:
-            return a[0] > b[1]
-    if kind == N.NOT:
-        inner = conjunct.children[0]
-        if inner.kind == N.EQ and inner.children[0].is_bv():
-            a = _interval(inner.children[0], env)
-            b = _interval(inner.children[1], env)
-            if a is not None and b is not None and a == b and a[0] == a[1]:
-                return True  # both sides are the same single value: != impossible
-    return False
-
-
-def _refine_env_from(conjunct: Expr, env: IntervalEnv) -> bool:
-    """Refine variable intervals from a top-level conjunct; False = empty."""
-
-    def var_of(e: Expr) -> tuple[str, int] | None:
-        if e.kind == N.VAR:
-            return e.name, e.width
-        if e.kind == N.ZEXT and e.children[0].kind == N.VAR:
-            return e.children[0].name, e.children[0].width
-        return None
-
-    kind = conjunct.kind
-    if kind not in (N.EQ, N.ULT, N.ULE):
-        return True
-    lhs, rhs = conjunct.children
-    if not lhs.is_bv():
-        return True
-    v = var_of(lhs)
-    if v is not None and rhs.is_const():
-        name, width = v
-        value = to_unsigned(rhs.value, width) if rhs.value < (1 << width) else None
-        if kind == N.EQ:
-            if rhs.value >= (1 << width):
-                return False
-            return env.refine(name, width, rhs.value, rhs.value)
-        if kind == N.ULT:
-            bound = min(rhs.value, 1 << width) - 1
-            return env.refine(name, width, 0, bound)
-        if kind == N.ULE:
-            return env.refine(name, width, 0, min(rhs.value, (1 << width) - 1))
-    v = var_of(rhs)
-    if v is not None and lhs.is_const():
-        name, width = v
-        if kind == N.EQ:
-            if lhs.value >= (1 << width):
-                return False
-            return env.refine(name, width, lhs.value, lhs.value)
-        if kind == N.ULT:
-            return env.refine(name, width, lhs.value + 1, (1 << width) - 1)
-        if kind == N.ULE:
-            return env.refine(name, width, lhs.value, (1 << width) - 1)
-    return True
-
-
-def _collect_vars(conjuncts: list[Expr]) -> dict[str, Expr]:
-    out: dict[str, Expr] = {}
-    for c in conjuncts:
-        for node in c.iter_nodes():
-            if node.kind == N.VAR:
-                out.setdefault(node.name, node)
-    return out
-
-
-def _probe(conjuncts: list[Expr], env: IntervalEnv) -> dict[str, int] | None:
-    """Try a few deterministic assignments; return a model on success."""
-    variables = _collect_vars(conjuncts)
-
-    def assignment(fill) -> dict[str, int]:
-        model = {}
-        for name, node in variables.items():
-            if node.is_bool():
-                model[name] = 0
-                continue
-            lo, hi = env.get(name, node.width)
-            model[name] = fill(lo, hi, node.width)
-        return model
-
-    candidates = [
-        assignment(lambda lo, hi, w: lo),
-        assignment(lambda lo, hi, w: hi),
-        assignment(lambda lo, hi, w: min(max(ord("a"), lo), hi)),
-        assignment(lambda lo, hi, w: min(max(1, lo), hi)),
-        assignment(lambda lo, hi, w: (lo + hi) // 2),
-    ]
-    for model in candidates:
-        try:
-            if all(evaluate(c, model) for c in conjuncts):
-                return model
-        except EvalError:
-            return None
-    return None
-
-
 def quick_check(conjuncts: list[Expr]) -> tuple[str, dict[str, int] | None]:
     """Fast incomplete decision: ('sat', model) | ('unsat', None) | ('unknown', None)."""
-    # Fold trivial cases.
-    pending: list[Expr] = []
-    for c in conjuncts:
-        if c.is_false():
-            return UNSAT, None
-        if not c.is_true():
-            pending.append(c)
-    if not pending:
-        return SAT, {}
-
-    # Equality propagation to fixpoint (bounded).
-    bindings: dict[str, Expr] = {}
-    for _ in range(4):
-        new_bindings: dict[str, Expr] = {}
-        for c in pending:
-            if c.kind == N.EQ:
-                a, b = c.children
-                if a.kind == N.VAR and b.is_const() and a.name not in bindings:
-                    new_bindings[a.name] = b
-                elif b.kind == N.VAR and a.is_const() and b.name not in bindings:
-                    new_bindings[b.name] = a
-        if not new_bindings:
-            break
-        bindings.update(new_bindings)
-        folded: list[Expr] = []
-        for c in pending:
-            c2 = substitute(c, new_bindings)
-            if c2.is_false():
-                return UNSAT, None
-            if not c2.is_true():
-                folded.append(c2)
-        pending = folded
-        if not pending:
-            model = {name: e.value for name, e in bindings.items()}
-            return SAT, model
-
-    # Interval refinement + refutation.
-    env = IntervalEnv()
-    for _ in range(2):
-        for c in pending:
-            if not _refine_env_from(c, env):
-                return UNSAT, None
-    for c in pending:
-        if _refute_by_intervals(c, env):
-            return UNSAT, None
-
-    # Candidate probing for a cheap SAT answer.
-    model = _probe(pending, env)
-    if model is not None:
-        for name, e in bindings.items():
-            model[name] = e.value
-        return SAT, model
-    return UNKNOWN, None
+    return one_shot_check(conjuncts)
 
 
 __all__ = ["quick_check", "IntervalEnv", "SAT", "UNSAT", "UNKNOWN"]

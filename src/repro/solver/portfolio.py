@@ -1,9 +1,14 @@
-"""The solver chain: simplification → cache → fast path → bit-blasting.
+"""The solver chain: cache → store → splitting → pre-solve → bit-blasting.
 
 :class:`SolverChain` is the engine-facing facade, mirroring KLEE's stacked
 solvers (independent-constraint splitter, counterexample cache, and STP at
 the bottom — here our own CDCL bit-blaster).  It blasts each query that
-reaches the bottom tier from scratch.
+reaches the bottom tier from scratch.  Ahead of the bottom tier sits the
+*pre-solve* tier (:mod:`repro.solver.presolve`): incremental per-path
+abstract domains that answer queries without blasting, plus a solver-
+boundary structural simplifier that shrinks the groups that do get
+blasted.  The fastpath neutrality law: enabling or disabling the tier
+changes which tier answers (and the counters), never a verdict.
 
 :class:`IncrementalChain` replaces the bottom tier with *incremental*
 assumption-based solving: one long-lived :class:`BitBlaster` is kept per
@@ -41,8 +46,8 @@ from ..expr.nodes import Expr
 from ..expr.subst import conjuncts as flatten_conjuncts
 from .bitblast import BitBlaster
 from .cache import QueryCache
-from .domains import SAT, UNSAT, quick_check
 from .independence import split_independent
+from .presolve import SAT, UNSAT, PresolveManager, group_signature, simplify_group
 from .sat import SatResult
 
 
@@ -77,6 +82,16 @@ class SolverStats:
     store_rejects: int = 0
     # Assumption cores extracted from UNSAT answers (incremental tier).
     unsat_cores: int = 0
+    # Pre-solve tier (repro.solver.presolve).  ``fastpath_hits`` above keeps
+    # its historical meaning — answered without bit-blasting — and equals
+    # ``presolve_hits_sat + presolve_hits_unsat`` exactly.
+    presolve_hits_sat: int = 0
+    presolve_hits_unsat: int = 0
+    # Groups structurally rewritten at the solver boundary before blasting.
+    presolve_rewrites: int = 0
+    # Environment snapshots extended incrementally (vs. built from scratch).
+    presolve_env_reuses: int = 0
+    presolve_env_builds: int = 0
     # Incremental-tier counters (stay 0 on a fresh-blast chain).
     # ``sat_solver_runs`` counts *full blasts*: every bottom-tier query on
     # the fresh chain, but only blaster (re)builds on the incremental one.
@@ -147,6 +162,10 @@ class SolverChain:
     sat_max_learned: int | None = 4000
     cache: QueryCache = field(default_factory=QueryCache)
     stats: SolverStats = field(default_factory=SolverStats)
+    # The stateful pre-solve tier (abstract domains; repro.solver.presolve),
+    # gated by ``use_fastpath``.  Environments live per independence-group
+    # signature and are extended incrementally as path conditions grow.
+    presolve: PresolveManager = field(default_factory=PresolveManager, repr=False)
     # Optional persistent tier (repro.store.PersistentTier), consulted on
     # in-memory-cache misses *before* independence splitting and fed every
     # solved verdict (buffered; a single writer flushes at end of run).
@@ -199,6 +218,8 @@ class SolverChain:
         self.stats.cache_hits_subset = cache.hits_subset_unsat
         self.stats.cache_hits_model = cache.hits_model_reuse
         self.stats.cache_misses = cache.misses
+        self.stats.presolve_env_reuses = self.presolve.env_reuses
+        self.stats.presolve_env_builds = self.presolve.env_builds
         if self.persistent is not None:
             self.stats.store_rejects = self.persistent.rejects
 
@@ -286,17 +307,51 @@ class SolverChain:
             if hit is not None:
                 self.stats.cache_hits += 1
                 return CheckResult(hit[0], dict(hit[1]) if hit[1] is not None else None)
+        sig = None
         if self.use_fastpath:
-            verdict, model = quick_check(group)
+            sig = group_signature(group)
+            verdict, model = self.presolve.check_group(group, sig)
             if verdict == SAT:
                 self.stats.fastpath_hits += 1
+                self.stats.presolve_hits_sat += 1
                 self._store_group(group, True, model)
                 return CheckResult(True, model)
             if verdict == UNSAT:
                 self.stats.fastpath_hits += 1
+                self.stats.presolve_hits_unsat += 1
                 self._store_group(group, False, None)
                 return CheckResult(False)
-        return self._check_sat(group)
+        return self._check_sat(group, sig)
+
+    def _blast_set(self, group: list[Expr]) -> tuple[list[Expr], CheckResult | None]:
+        """Solver-boundary structural simplification of a group.
+
+        Returns the constraint list to hand to the bit-blaster plus an
+        early verdict when the rewrite folded the whole group.  Rewriting
+        never leaves the solver boundary: caches, the persistent store and
+        ``path_id``s all see the *original* group.  Gated by
+        ``use_fastpath`` so the ablated chain stays a pure bit-blaster.
+        """
+        if not self.use_fastpath:
+            return group, None
+        rewritten = simplify_group(group)
+        if rewritten is None:
+            return group, None
+        self.stats.presolve_rewrites += 1
+        blast: list[Expr] = []
+        for c in rewritten:
+            if c.is_false():
+                self.stats.fastpath_hits += 1
+                self.stats.presolve_hits_unsat += 1
+                self._store_group(group, False, None)
+                return group, CheckResult(False)
+            if not c.is_true():
+                blast.append(c)
+        # ``blast`` is never empty here: simplify_group only returns a
+        # rewrite when it found bindings, and every binding's re-emitted
+        # defining equality survives folding.  An empty list would still
+        # be handled correctly downstream (a clause-free blaster is SAT).
+        return blast, None
 
     def _store_group(self, group: list[Expr], is_sat: bool, model) -> None:
         if self.use_cache and len(group) > 1:
@@ -306,9 +361,12 @@ class SolverChain:
             # whole query may equal one of today's independence groups.
             self._persist(group, is_sat, model)
 
-    def _check_sat(self, group: list[Expr]) -> CheckResult:
+    def _check_sat(self, group: list[Expr], sig: frozenset[str] | None = None) -> CheckResult:
+        blast, early = self._blast_set(group)
+        if early is not None:
+            return early
         blaster = BitBlaster(max_learned=self.sat_max_learned)
-        for c in group:
+        for c in blast:
             blaster.assert_expr(c)
         self.stats.sat_solver_runs += 1
         try:
@@ -430,19 +488,29 @@ class IncrementalChain(SolverChain):
         return hit is not None and hit[0]
 
     def reset_blasters(self) -> None:
-        """Drop all persistent blasters (they rebuild lazily)."""
+        """Drop all persistent blasters (they rebuild lazily).
+
+        The presolve environments are dropped with them — the reset rules
+        of the two signature-keyed pools mirror each other by invariant.
+        """
         if self._blasters:
             self.stats.blasters_reset += len(self._blasters)
             self._blasters.clear()
+        self.presolve.reset()
 
     # -- incremental bottom tier ------------------------------------------------
 
-    def _check_sat(self, group: list[Expr]) -> CheckResult:
-        sig = frozenset().union(*(c.variables for c in group)) if group else frozenset()
+    def _check_sat(self, group: list[Expr], sig: frozenset[str] | None = None) -> CheckResult:
+        blast, early = self._blast_set(group)
+        if early is not None:
+            return early
+        if sig is None:
+            sig = group_signature(group)
         entry = self._blasters.get(sig)
         if entry is not None and entry.blaster.clause_count > self.max_blaster_clauses:
             del self._blasters[sig]
             self.stats.blasters_reset += 1
+            self.presolve.reset_signature(sig)
             entry = None
         if entry is None:
             entry = _PersistentBlaster(max_learned=self.sat_max_learned)
@@ -456,19 +524,26 @@ class IncrementalChain(SolverChain):
             self.stats.incremental_reuses += 1
             self.stats.clauses_retained += entry.blaster.clause_count
         self.stats.assumption_probes += 1
-        assumptions = [entry.blaster.guard_literal(c) for c in group]
+        assumptions = [entry.blaster.guard_literal(c) for c in blast]
         try:
             model = entry.blaster.solve(self.conflict_budget, assumptions=assumptions)
         except TimeoutError as exc:
             self._account_probe(entry)
             # Recovery path: the budget may have died in this blaster's
             # learned-clause swamp; drop it so the next query re-blasts.
+            # The reset mirrors onto the presolve tier (same invariant).
             self._blasters.pop(sig, None)
             self.stats.blasters_reset += 1
+            self.presolve.reset_signature(sig)
             raise SolverTimeout(str(exc)) from exc
         self._account_probe(entry)
         if model is None:
-            self._extract_core(entry.blaster, group)
+            if blast is group:
+                # Cores are only harvested when the group went to the
+                # blaster un-rewritten: cache and store must see original
+                # constraint shapes, or the seeded subset-UNSAT entries
+                # would never match future (original-form) queries.
+                self._extract_core(entry.blaster, group)
             self._store_group(group, False, None)
             return CheckResult(False)
         self._store_group(group, True, model)

@@ -141,11 +141,14 @@ def test_differential_model_reuse_across_growing_pc():
 @pytest.mark.parametrize("program", ["echo", "test"])
 def test_engine_differential_incremental_vs_fresh(program):
     """Whole-engine differential: identical path space and test counts."""
+    # The presolve tier answers most of these small programs' queries
+    # outright; disable it so the differential actually exercises the
+    # incremental bottom tier this test is about.
     results = {}
     for inc in (False, True):
         results[inc] = run_symbolic(
             program, merging="none", similarity="never", strategy="dfs",
-            generate_tests=True, solver_incremental=inc,
+            generate_tests=True, solver_incremental=inc, solver_fastpath=False,
         )
     fresh, incr = results[False], results[True]
     assert incr.paths == fresh.paths
