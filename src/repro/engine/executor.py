@@ -142,6 +142,9 @@ class Engine:
             self.strategy = DsmStrategy(base, self)
         else:
             self.strategy = base
+        # Prioritized strategies (repro.sched) score states against this
+        # engine's coverage/corpus/QCE context inside on_add.
+        self.strategy.bind(self)
 
     # -- construction helpers ----------------------------------------------------
 
@@ -159,6 +162,10 @@ class Engine:
         self._store_tier = None
         self._store_committed = False
         self._owns_store = False
+        # Blocks any stored corpus test has covered — the scheduler's
+        # cross-run novelty signal (repro.sched.CorpusNoveltySignal).
+        # Empty without a store, so the signal is neutral.
+        self.corpus_covered: frozenset = frozenset()
         if self.store is None and self.config.store_path:
             from ..store import open_store  # local import: engine stays store-free otherwise
 
@@ -172,6 +179,10 @@ class Engine:
 
         self._store_tier = PersistentTier(self.store, program=self.program)
         self.solver.persistent = self._store_tier
+        if self.store is not None and self.config.warm_start:
+            from ..store import corpus_covered_blocks
+
+            self.corpus_covered = corpus_covered_blocks(self.store, self.program)
         if (
             self.store is not None
             and self.config.warm_start
@@ -382,6 +393,9 @@ class Engine:
         Seeds never try to merge: partition roots are pairwise disjoint by
         construction, and the initial state has nothing to merge with.
         """
+        # Partition boundary: strategies may reset per-partition state
+        # (RandomStrategy reseeds its stream from the prefix here).
+        self.strategy.on_seed(states)
         for state in states:
             if state.halted:
                 self._finalize(state)

@@ -70,11 +70,18 @@ class EngineStats:
     # Warm-start seeding volume (0 on cold runs / without a store).
     warm_models_seeded: int = 0
     warm_cores_seeded: int = 0
+    # Scheduler subsystem (repro.sched): heap picks served by prioritized
+    # strategies, lazy rescores the heap absorbed, and — on parallel runs
+    # — the observed worker imbalance (max/mean of per-worker path work;
+    # 1.0 = perfectly level; feeds next run's adaptive partition_factor).
+    sched_picks: int = 0
+    sched_rescores: int = 0
+    sched_imbalance: float = 0.0
 
     # Fields that do not merge by addition: maxima stay maxima across
     # workers, ``timed_out`` is an any-of, and these are handled explicitly
     # in :meth:`merge`.
-    _MAX_FIELDS = ("max_multiplicity", "max_worklist")
+    _MAX_FIELDS = ("max_multiplicity", "max_worklist", "sched_imbalance")
     _OR_FIELDS = ("timed_out",)
 
     def snapshot(self) -> dict[str, float]:

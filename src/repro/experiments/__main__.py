@@ -30,6 +30,7 @@ from .figures import (
     fig9_dsm_vs_ssm,
     parallel_scaling,
     presolve_ablation,
+    sched_ablation,
     warm_start,
 )
 from .report import save_json
@@ -46,6 +47,7 @@ FIGURES = {
     "warm": warm_start,
     "cache": cache_report,
     "presolve": presolve_ablation,
+    "sched": sched_ablation,
 }
 
 
@@ -61,20 +63,53 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the evaluation figures of Kuznetsov et al., PLDI 2012.",
     )
     parser.add_argument("figure", nargs="?", default="all",
-                        choices=["all", "bench", *FIGURES], help="which figure to run")
+                        choices=["all", "bench", "store-gc", *FIGURES],
+                        help="which figure (or maintenance command) to run")
     parser.add_argument("--scale", default="ci", choices=["ci", "paper"],
                         help="input sizes / budgets preset")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also dump raw rows as JSON into DIR")
-    parser.add_argument("--out", metavar="FILE", default="BENCH_PR4.json",
+    parser.add_argument("--out", metavar="FILE", default="BENCH_PR5.json",
                         help="output path for the `bench` baseline document")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="bench: committed BENCH_PR*.json to diff against"
+                             " (>30%% micro-kernel regression fails)")
+    parser.add_argument("--store", metavar="FILE", default=None,
+                        help="store-gc: path of the persistent store to compact")
+    parser.add_argument("--keep-runs", type=int, default=16, metavar="N",
+                        help="store-gc: age out rows older than the newest N runs")
     args = parser.parse_args(argv)
 
     if args.figure == "bench":
-        from .bench import run_bench
+        from .bench import diff_against, run_bench
 
         doc = run_bench(args.out, args.scale)
         print(f"wrote {args.out} ({doc['total_wall_s']}s)")
+        if args.baseline:
+            failures = diff_against(doc, args.baseline)
+            if failures:
+                print(f"PERF REGRESSION vs {args.baseline}:")
+                for line in failures:
+                    print(f"  {line}")
+                return 1
+            print(f"no regression vs {args.baseline}")
+        return 0
+
+    if args.figure == "store-gc":
+        if not args.store:
+            parser.error("store-gc requires --store PATH")
+        if not Path(args.store).exists():
+            # open_store would create a fresh empty store at the (possibly
+            # typo'd) path and report a successful no-op GC — refuse.
+            parser.error(f"store {args.store!r} does not exist")
+        from ..store import open_store
+
+        store = open_store(args.store)
+        deleted = store.gc(keep_runs=args.keep_runs)
+        counts = store.counts()
+        store.close()
+        print(f"gc({args.store}, keep_runs={args.keep_runs}): deleted {deleted}")
+        print(f"remaining: {counts}")
         return 0
 
     names = list(FIGURES) if args.figure == "all" else [args.figure]

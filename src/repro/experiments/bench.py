@@ -1,12 +1,18 @@
 """Perf-trajectory benchmark runner: the ``BENCH_PR*.json`` baseline.
 
-``python -m repro.experiments bench --out BENCH_PR4.json`` runs a fixed
+``python -m repro.experiments bench --out BENCH_PR5.json`` runs a fixed
 set of micro-solver kernels and merge-heavy engine cells and writes one
 JSON document with wall-clock numbers, deterministic cost units,
 ``sat_solver_runs`` and presolve hit rates.  Committing the file gives
 future PRs a baseline to diff perf work against: absolute timings are
 host-dependent, but the deterministic counters (queries, blasts, hits,
 cost units) must only move when a PR intends them to.
+
+``--baseline BENCH_PR4.json`` diffs the fresh document against a
+committed one (:func:`diff_against`): any micro-kernel whose
+deterministic counters regress by more than 30% fails the run — that is
+the CI gate; wall-clock deltas are reported but never gate, since the
+baseline was written on different hardware.
 """
 
 from __future__ import annotations
@@ -146,7 +152,40 @@ def _engine_cell_rows(scale: str) -> list[dict]:
     return rows
 
 
-def run_bench(out_path: str = "BENCH_PR4.json", scale: str = "ci") -> dict:
+# Deterministic micro-kernel counters the CI diff gates on; wall_s is
+# reported but never gates (the committed baseline ran on other hardware).
+GATED_FIELDS = ("sat_solver_runs", "queries", "cost_units")
+REGRESSION_THRESHOLD = 0.30
+
+
+def diff_against(doc: dict, baseline_path: str) -> list[str]:
+    """Compare a fresh bench doc against a committed baseline.
+
+    Returns human-readable failure lines for every micro-kernel counter
+    that regressed by more than :data:`REGRESSION_THRESHOLD`; an empty
+    list means the gate passes.  Kernels present on only one side are
+    skipped (renames and new kernels are not regressions).
+    """
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    base_micro = {row["name"]: row for row in base.get("micro_solver", [])}
+    failures: list[str] = []
+    for row in doc.get("micro_solver", []):
+        ref = base_micro.get(row["name"])
+        if ref is None:
+            continue
+        for fld in GATED_FIELDS:
+            if fld not in row or not ref.get(fld):
+                continue
+            if row[fld] > ref[fld] * (1.0 + REGRESSION_THRESHOLD):
+                failures.append(
+                    f"{row['name']}.{fld}: {ref[fld]} -> {row[fld]} "
+                    f"(+{100.0 * (row[fld] / ref[fld] - 1.0):.0f}%)"
+                )
+    return failures
+
+
+def run_bench(out_path: str = "BENCH_PR5.json", scale: str = "ci") -> dict:
     """Run the benchmark corpus and persist the baseline document."""
     from .figures import presolve_ablation
 
@@ -155,7 +194,7 @@ def run_bench(out_path: str = "BENCH_PR4.json", scale: str = "ci") -> dict:
     cells = _engine_cell_rows(scale)
     ablation = presolve_ablation(scale=scale)
     doc = {
-        "bench": "PR4 presolve-tier baseline",
+        "bench": "PR5 scheduler baseline",
         "scale": scale,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -180,13 +219,19 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.bench",
-        description="Write the perf-trajectory baseline (BENCH_PR4.json).",
+        description="Write the perf-trajectory baseline (BENCH_PR5.json).",
     )
-    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--out", default="BENCH_PR5.json")
     parser.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    parser.add_argument("--baseline", default=None)
     args = parser.parse_args(argv)
     doc = run_bench(args.out, args.scale)
     print(json.dumps(doc, indent=2))
+    if args.baseline:
+        failures = diff_against(doc, args.baseline)
+        if failures:
+            print("PERF REGRESSION:", *failures, sep="\n  ")
+            return 1
     return 0
 
 

@@ -22,6 +22,7 @@ from ..qce.qce import QceParams
 MODES: dict[str, dict[str, str]] = {
     "plain": {"merging": "none", "similarity": "never", "strategy": "dfs"},
     "plain-cov": {"merging": "none", "similarity": "never", "strategy": "coverage"},
+    "plain-rand": {"merging": "none", "similarity": "never", "strategy": "random"},
     "ssm-qce": {"merging": "static", "similarity": "qce", "strategy": "topological"},
     "ssm-all": {"merging": "static", "similarity": "always", "strategy": "topological"},
     "ssm-cov": {"merging": "static", "similarity": "qce", "strategy": "coverage"},
@@ -57,6 +58,10 @@ class RunSettings:
     # Persistent cross-run store (repro.store); None = cold, stateless run.
     store_path: str | None = None
     warm_start: bool = True
+    # Open the store read-only: consult and warm-start from it, commit
+    # nothing.  The sched ablation uses this so its measured runs all see
+    # the identical corpus evidence.
+    store_readonly: bool = False
 
 
 def settings_to_spec_config(settings: RunSettings) -> tuple[ArgvSpec, EngineConfig]:
@@ -87,6 +92,7 @@ def settings_to_spec_config(settings: RunSettings) -> tuple[ArgvSpec, EngineConf
         solver_incremental=settings.solver_incremental,
         solver_fastpath=settings.solver_fastpath,
         store_path=settings.store_path,
+        store_readonly=settings.store_readonly,
         warm_start=settings.warm_start,
     )
     return spec, config
@@ -99,17 +105,31 @@ def run_cell(settings: RunSettings) -> SymbolicRunResult:
     return run_symbolic_module(module, spec, config, program_name=settings.program)
 
 
-def run_parallel_cell(settings: RunSettings, workers: int = 2, backend: str = "process"):
+def run_parallel_cell(
+    settings: RunSettings,
+    workers: int = 2,
+    backend: str = "process",
+    dispatch: str = "corpus",
+    partition_factor: int | None = None,
+):
     """Execute one cell through the parallel coordinator.
 
     ``workers=1`` is the sequential special case (same code path, no
     pool); the returned :class:`~repro.parallel.ParallelResult` carries
     the per-participant stats ledger the scaling figure reads.
+    ``dispatch`` picks the partition-dispatch policy ('corpus' priority
+    scheduling vs the 'fifo' ablation baseline) and ``partition_factor``
+    overrides the adaptive split fan-out.
     """
     from ..parallel import Coordinator, ParallelConfig  # local import: avoid cycle
 
     spec, config = settings_to_spec_config(settings)
-    parallel = ParallelConfig(workers=workers, backend=backend)
+    parallel = ParallelConfig(
+        workers=workers,
+        backend=backend,
+        dispatch=dispatch,
+        partition_factor=partition_factor,
+    )
     return Coordinator(settings.program, spec, config, parallel).run()
 
 

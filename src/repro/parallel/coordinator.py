@@ -10,11 +10,17 @@ The run has three phases:
    never spawned, and sequential mode is literally the degenerate case of
    this code path.
 2. **Dispatch** — partitions go to a worker pool (process-based by
-   default, inline for deterministic testing) through the shared task
-   queue; workers self-serve, which load-balances the queued portion.
-   When the queue drains while some workers are still busy, the
-   coordinator sends steal requests and re-queues whatever frontier the
-   busy workers export (work stealing for intra-partition imbalance).
+   default, inline for deterministic testing) through a
+   :class:`~repro.sched.PartitionScheduler` priority queue: the shared
+   task queue is kept primed with at most one task per worker, and every
+   refill hands out the best-scored pending partition (corpus novelty,
+   QCE load, prefix depth — see :mod:`repro.sched`).  When everything is
+   dispatched while some workers are still busy, the coordinator sends
+   steal requests — victim choice routes through the same scheduler —
+   and re-queues whatever frontier the busy workers export (work
+   stealing for intra-partition imbalance).  The split fan-out itself
+   adapts: with a persistent store, ``partition_factor=None`` scales the
+   target frontier by the worker imbalance previous runs recorded.
 3. **Merge** — per-partition results stream in (tests, coverage, path
    counts); on shutdown each worker ships its full stats, and the
    coordinator folds everything into one ledger whose additive fields
@@ -27,13 +33,15 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_mod
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..engine.executor import Engine, EngineConfig
 from ..engine.stats import EngineStats
 from ..engine.testgen import TestSuite
 from ..env.argv import ArgvSpec
 from ..programs.registry import get_program
+from ..qce.qce import analyze_module
+from ..sched import PartitionScheduler, adaptive_partition_factor
 from ..solver.portfolio import SolverStats
 from .partition import Partition
 from .wire import (
@@ -57,7 +65,14 @@ class ParallelConfig:
     workers: int = 2
     # Split until the frontier holds workers * partition_factor states
     # (more partitions than workers smooths the initial imbalance).
-    partition_factor: int = 4
+    # None = adaptive: the factor is derived from the worker imbalance
+    # recorded by previous runs in the persistent store (base 4 without
+    # one) — see repro.sched.adaptive_partition_factor.
+    partition_factor: int | None = None
+    # Dispatch policy: 'corpus' ranks pending partitions by corpus
+    # novelty / QCE load / prefix depth (repro.sched.PartitionScheduler);
+    # 'fifo' preserves split order (the ablation baseline).
+    dispatch: str = "corpus"
     # Give up splitting after this many blocks even if the frontier is
     # small — skinny trees fork rarely and may never reach the target.
     split_max_steps: int = 512
@@ -100,6 +115,16 @@ class ParallelResult:
     # Sum of the per-partition path deltas streamed in MSG_DONE messages;
     # cross-checked against the final stats ledger in check_ledger().
     streamed_paths: int = 0
+    # Scheduling telemetry: the split fan-out actually used (relevant when
+    # ParallelConfig.partition_factor is None/adaptive), the observed
+    # worker imbalance (max/mean of per-worker completed paths; 1.0 =
+    # perfectly level — also mirrored into stats.sched_imbalance and the
+    # store's run row, where the next adaptive split reads it), and the
+    # per-partition completion log [(pid, origin, paths, new_coverage)]
+    # in completion order — what the `sched` ablation figure replays.
+    partition_factor: int = 0
+    imbalance: float = 1.0
+    partition_results: list = field(default_factory=list)
 
     @property
     def paths(self) -> int:
@@ -175,6 +200,10 @@ class Coordinator:
         self.partitions_dispatched = 0
         self.steals = 0
         self._next_pid = 0
+        # Built in run(): the partition scheduler and the effective split
+        # factor (resolved from the store when the config says adaptive).
+        self._sched: PartitionScheduler | None = None
+        self._factor = 0
 
     # -- public entry -----------------------------------------------------------
 
@@ -185,12 +214,19 @@ class Coordinator:
         split_engine.seed_states([split_engine.make_initial_state()])
 
         par = self.parallel
+        if par.dispatch not in ("corpus", "fifo"):
+            raise ValueError(f"unknown dispatch policy {par.dispatch!r}")
+        self._factor = (
+            par.partition_factor
+            if par.partition_factor is not None
+            else adaptive_partition_factor(split_engine.store, self.program)
+        )
         if par.workers == 1:
             # Sequential mode: the same loop, no split interrupt, no pool.
             split_engine.explore()
             return self._assemble(split_engine, [], [], set(), start)
 
-        target = par.workers * par.partition_factor
+        target = par.workers * self._factor
         split_engine.explore(
             interrupt=lambda eng: len(eng.worklist) >= target
             or eng.stats.blocks_executed >= par.split_max_steps
@@ -200,16 +236,33 @@ class Coordinator:
         if not partitions:
             return self._assemble(split_engine, [], [], set(), start)
 
+        # One scheduler scores every dispatch decision of this run: split
+        # partitions, stolen re-queues, and steal-victim choice.  Its
+        # signals come from the same sources the search strategies use —
+        # the store's corpus-coverage index and the QCE Qt export.  The
+        # Qt supplier is lazy: only victim selection reads the load
+        # signal, so runs that never steal never run the QCE analysis.
+        self._sched = PartitionScheduler(
+            split_engine.corpus_covered,
+            qt_table=lambda: (
+                split_engine.qce or analyze_module(module, self.config.qce_params)
+            ).qt_table(),
+            policy=par.dispatch,
+        )
+
         if par.backend == "inline":
-            entries, tests, covered, streamed, payloads = self._run_inline(
-                module, partitions
+            entries, tests, covered, streamed, payloads, part_results = (
+                self._run_inline(module, partitions)
             )
         elif par.backend == "process":
-            entries, tests, covered, streamed, payloads = self._run_processes(partitions)
+            entries, tests, covered, streamed, payloads, part_results = (
+                self._run_processes(partitions)
+            )
         else:
             raise ValueError(f"unknown backend {par.backend!r}")
         return self._assemble(
-            split_engine, entries, tests, covered, start, streamed, payloads
+            split_engine, entries, tests, covered, start, streamed, payloads,
+            part_results,
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -223,8 +276,10 @@ class Coordinator:
     def _new_partition(self, state, origin: str) -> Partition:
         return Partition.from_state(self._alloc_pid(), state, origin)
 
-    def _new_partition_from_blob(self, blob: bytes, origin: str) -> Partition:
-        return Partition.from_blob(self._alloc_pid(), blob, origin)
+    def _new_partition_from_blob(
+        self, blob: bytes, origin: str, meta: dict | None = None
+    ) -> Partition:
+        return Partition.from_blob(self._alloc_pid(), blob, origin, meta)
 
     def _assemble(
         self,
@@ -235,6 +290,7 @@ class Coordinator:
         start: float,
         streamed_paths: int = 0,
         store_payloads: list | None = None,
+        partition_results: list | None = None,
     ) -> ParallelResult:
         split_engine._sync_solver_stats()
         ledger: list[LedgerEntry] = [
@@ -243,14 +299,23 @@ class Coordinator:
         ledger.extend(worker_entries)
         tests = TestSuite(self.spec, cases=list(split_engine.tests.cases) + worker_tests)
         covered = set(split_engine.coverage.covered) | worker_covered
-        self._commit_store(split_engine, store_payloads or [], tests, ledger)
+        merged_stats = EngineStats.merged(entry[1] for entry in ledger)
+        merged_solver = SolverStats.merged(entry[2] for entry in ledger)
+        # Observed imbalance: how unevenly the completed-path work landed
+        # across workers.  Recorded with the run (its snapshot goes into
+        # the store) so the next adaptive split can level against it.
+        imbalance = _worker_imbalance(worker_entries)
+        merged_stats.sched_imbalance = max(merged_stats.sched_imbalance, imbalance)
+        self._commit_store(
+            split_engine, store_payloads or [], tests, merged_stats, merged_solver
+        )
         return ParallelResult(
             program=self.program,
             spec=self.spec,
             config=self.config,
             parallel=self.parallel,
-            stats=EngineStats.merged(entry[1] for entry in ledger),
-            solver_stats=SolverStats.merged(entry[2] for entry in ledger),
+            stats=merged_stats,
+            solver_stats=merged_solver,
             tests=tests,
             covered=covered,
             ledger=ledger,
@@ -258,6 +323,9 @@ class Coordinator:
             steals=self.steals,
             wall_time=time.perf_counter() - start,
             streamed_paths=streamed_paths,
+            partition_factor=self._factor,
+            imbalance=imbalance,
+            partition_results=list(partition_results or []),
         )
 
     def _commit_store(
@@ -265,23 +333,22 @@ class Coordinator:
         split_engine: Engine,
         store_payloads: list,
         tests: TestSuite,
-        ledger: list[LedgerEntry],
+        merged_engine: EngineStats,
+        merged_solver: SolverStats,
     ) -> None:
         """Single-writer store commit for a partitioned run.
 
         The coordinator's split engine owns the writable store; workers
         (process or inline) ran read-only and shipped their buffered
         inserts, which are applied here together with the coordinator's
-        own buffer, the merged run metadata, and the full merged test
-        suite.
+        own buffer, the merged run metadata (including the observed
+        ``sched_imbalance``), and the full merged test suite.
         """
         store = getattr(split_engine, "store", None)
         if store is None or store.readonly or split_engine._store_tier is None:
             return
         from ..store import apply_payload, record_tests, spec_fingerprint
 
-        merged_engine = EngineStats.merged(entry[1] for entry in ledger)
-        merged_solver = SolverStats.merged(entry[2] for entry in ledger)
         run_id = store.record_run(
             self.program,
             spec_fingerprint(self.spec),
@@ -311,11 +378,15 @@ class Coordinator:
     # -- inline backend -----------------------------------------------------------
 
     def _run_inline(self, module, partitions: list[Partition]):
-        """Round-robin the partition protocol over in-process engines.
+        """Run the partition protocol over in-process engines, in
+        scheduler order.
 
         Exercises the exact same snapshot/seed/explore/merge machinery as
         the process backend, minus the IPC — deterministic and
-        fork-free, so it doubles as the reference for differential tests.
+        fork-free, so it doubles as the reference for differential tests
+        and for the `sched` ablation (partitions complete exactly in
+        dispatch order here, making paths-to-coverage-target a pure
+        function of the dispatch policy).
         """
         par = self.parallel
         config = self.config
@@ -333,7 +404,8 @@ class Coordinator:
         tests: list = []
         covered: set = set()
         streamed_paths = 0
-        tasks = list(partitions)
+        partition_results: list = []
+        tasks = self._sched.order(partitions)
         for engine in engines:
             engine.stats.states_created = 0
         for i, part in enumerate(tasks):
@@ -343,6 +415,7 @@ class Coordinator:
             tests.extend(new_tests)
             covered |= new_cov
             streamed_paths += paths
+            partition_results.append((part.pid, part.origin, paths, new_cov))
         entries: list[LedgerEntry] = []
         payloads: list = []
         for i, engine in enumerate(engines):
@@ -350,7 +423,7 @@ class Coordinator:
             entries.append((f"worker-{i}", engine.stats, engine.solver.stats))
             payloads.append(engine.export_store_payload())
             engine.close_store()
-        return entries, tests, covered, streamed_paths, payloads
+        return entries, tests, covered, streamed_paths, payloads, partition_results
 
     # -- process backend -----------------------------------------------------------
 
@@ -395,20 +468,33 @@ class Coordinator:
         tests: list = []
         covered: set = set()
         streamed_paths = 0
-        queued = 0  # dispatched, not yet picked up
+        partition_results: list = []
+        queued = 0  # in the shared task queue, not yet picked up
         running: dict[int, int] = {}  # wid -> pid being explored
+        outstanding: dict[int, Partition] = {}  # pid -> dispatched partition
         steal_inflight: set[int] = set()
         # Workers whose last steal reply was empty: their frontier is too
         # thin to split, so don't ping them again until they make progress
         # (start or finish a partition) — prevents a request/empty-reply
         # storm against a worker grinding one deep linear path.
         steal_dry: set[int] = set()
-        pending = 0  # partitions not yet done
+        pending = 0  # partitions not yet done (queued, running, or held back)
         for part in partitions:
-            task_q.put((TASK_PARTITION, part.pid, part.snapshot))
-            queued += 1
+            self._sched.push(part)
             pending += 1
 
+        def dispatch():
+            # Keep the shared queue primed with at most one task per
+            # worker; everything else waits in the scheduler heap so the
+            # next hand-out is always the current best-scored partition.
+            nonlocal queued
+            while len(self._sched) and queued < par.workers:
+                part = self._sched.pop()
+                outstanding[part.pid] = part
+                task_q.put((TASK_PARTITION, part.pid, part.snapshot))
+                queued += 1
+
+        dispatch()
         while pending > 0:
             msg = self._next_message(result_q, procs)
             kind = msg[0]
@@ -417,38 +503,48 @@ class Coordinator:
                 queued -= 1
                 running[wid] = pid
                 steal_dry.discard(wid)
+                dispatch()
             elif kind == MSG_DONE:
-                _, wid, _pid, new_tests, new_cov, paths = msg
+                _, wid, pid, new_tests, new_cov, paths = msg
                 running.pop(wid, None)
+                part = outstanding.pop(pid, None)
                 steal_inflight.discard(wid)
                 steal_dry.discard(wid)
                 pending -= 1
                 tests.extend(new_tests)
                 covered |= new_cov
                 streamed_paths += paths
+                partition_results.append(
+                    (pid, part.origin if part is not None else "?", paths, new_cov)
+                )
             elif kind == MSG_STOLEN:
-                _, wid, blobs = msg
+                _, wid, stolen = msg
                 steal_inflight.discard(wid)
-                if blobs:
+                if stolen:
                     self.steals += 1
                 else:
                     steal_dry.add(wid)
-                for blob in blobs:
-                    part = self._new_partition_from_blob(blob, f"steal:{wid}")
-                    task_q.put((TASK_PARTITION, part.pid, part.snapshot))
-                    queued += 1
+                for blob, meta in stolen:
+                    part = self._new_partition_from_blob(blob, f"steal:{wid}", meta)
+                    self._sched.push(part)
                     pending += 1
+                dispatch()
             elif kind == MSG_ERROR:
                 raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
-            # Rebalance: the queue is dry, someone is idle, someone is busy.
-            if par.steal and pending > 0 and queued == 0 and running:
+            # Rebalance: everything is dispatched, someone is idle, someone
+            # is busy.  Victim choice routes through the scheduler: steal
+            # from the worker running the best-scored partition — the
+            # most novel, shallowest subtree, whose frontier is most worth
+            # splitting across the idle workers.
+            if par.steal and pending > 0 and queued == 0 and not len(self._sched) and running:
                 idle = set(range(par.workers)) - set(running)
-                victims = [
-                    w for w in running
-                    if w not in steal_inflight and w not in steal_dry
-                ]
-                if idle and victims:
-                    victim = victims[0]
+                eligible = {
+                    wid: outstanding.get(running[wid])
+                    for wid in running
+                    if wid not in steal_inflight and wid not in steal_dry
+                }
+                if idle and eligible:
+                    victim = self._sched.pick_victim(eligible)
                     # Tag the request with the partition it targets, so the
                     # worker can discard it if it arrives late.
                     cmd_qs[victim].put((CMD_STEAL, running[victim]))
@@ -474,7 +570,7 @@ class Coordinator:
             # finished and acknowledged before the stop was sent.
         entries = [entries_by_wid[wid] for wid in sorted(entries_by_wid)]
         payloads = [payloads_by_wid[wid] for wid in sorted(payloads_by_wid)]
-        return entries, tests, covered, streamed_paths, payloads
+        return entries, tests, covered, streamed_paths, payloads, partition_results
 
     def _next_message(self, result_q, procs):
         while True:
@@ -487,6 +583,21 @@ class Coordinator:
                         f"parallel worker died (exitcode {dead[0].exitcode}) "
                         "without reporting an error"
                     ) from None
+
+
+def _worker_imbalance(worker_entries: list[LedgerEntry]) -> float:
+    """Max/mean of per-worker completed paths (1.0 = perfectly level).
+
+    Path counts rather than CPU seconds: they are deterministic (the
+    inline backend and tests can pin them) and survive the store's JSON
+    snapshot unchanged.  Runs with fewer than two workers — or where no
+    worker completed a path — report 1.0, the neutral value.
+    """
+    counts = [entry[1].paths_completed for entry in worker_entries]
+    total = sum(counts)
+    if len(counts) < 2 or total == 0:
+        return 1.0
+    return max(counts) * len(counts) / total
 
 
 def run_parallel(

@@ -27,31 +27,74 @@ from ..engine.state import SymState
 
 @dataclass(frozen=True)
 class Partition:
-    """One shippable subtree of the path space."""
+    """One shippable subtree of the path space.
+
+    Besides the snapshot it carries the *scheduling metadata* the
+    dispatcher scores (:mod:`repro.sched`): the root state's current
+    location, call-stack depth, and path-prefix length.  Metadata is
+    extracted where the live state exists — at split time on the
+    coordinator, or on the worker before a stolen state is serialized
+    (:meth:`meta_of` rides the ``MSG_STOLEN`` message) — so the snapshot
+    blob itself is never decoded just to rank it.
+    """
 
     pid: int
     snapshot: bytes
     # Provenance: "split" for the coordinator's initial frontier,
     # "steal:<worker_id>" for states exported by a busy worker.
     origin: str
-    # |pc| of the serialized state — the path-prefix depth, for
-    # diagnostics.  -1 when wrapped from raw bytes (stolen frontier
-    # entries), where decoding the blob just for this would be waste.
+    # |pc| of the serialized state — the path-prefix depth.  -1 when
+    # wrapped from raw bytes with no metadata (old-protocol blobs).
     prefix_len: int
+    # Scheduling metadata: the root state's location and stack depth.
+    # None/-1 when unknown — the scheduler scores those neutrally.
+    func: str | None = None
+    block: str | None = None
+    depth: int = -1
 
     @classmethod
     def from_state(cls, pid: int, state: SymState, origin: str) -> "Partition":
+        frame = state.top
         return cls(
-            pid=pid, snapshot=state.snapshot(), origin=origin, prefix_len=len(state.pc)
+            pid=pid,
+            snapshot=state.snapshot(),
+            origin=origin,
+            prefix_len=len(state.pc),
+            func=frame.func,
+            block=frame.block,
+            depth=len(state.frames),
         )
 
     @classmethod
-    def from_blob(cls, pid: int, snapshot: bytes, origin: str) -> "Partition":
+    def from_blob(
+        cls, pid: int, snapshot: bytes, origin: str, meta: dict | None = None
+    ) -> "Partition":
         """Wrap already-serialized state bytes (a stolen frontier entry).
 
-        The blob is forwarded verbatim — never decoded on the coordinator.
+        The blob is forwarded verbatim — never decoded on the coordinator;
+        ``meta`` is the :meth:`meta_of` payload the worker shipped with it.
         """
-        return cls(pid=pid, snapshot=snapshot, origin=origin, prefix_len=-1)
+        meta = meta or {}
+        return cls(
+            pid=pid,
+            snapshot=snapshot,
+            origin=origin,
+            prefix_len=meta.get("prefix_len", -1),
+            func=meta.get("func"),
+            block=meta.get("block"),
+            depth=meta.get("depth", -1),
+        )
+
+    @staticmethod
+    def meta_of(state: SymState) -> dict:
+        """Scheduling metadata of a live state, for the wire protocol."""
+        frame = state.top
+        return {
+            "prefix_len": len(state.pc),
+            "func": frame.func,
+            "block": frame.block,
+            "depth": len(state.frames),
+        }
 
     def restore(self, sid: int) -> SymState:
         return SymState.from_snapshot(self.snapshot, sid)

@@ -17,7 +17,10 @@ Coordinator -> worker (command queue, out of band):
 Worker -> coordinator (result queue):
     (MSG_START, worker_id, partition_id)            — began a partition
     (MSG_DONE, worker_id, partition_id, tests, covered, paths)
-    (MSG_STOLEN, worker_id, [snapshot_bytes, ...])  — may be empty
+    (MSG_STOLEN, worker_id, [(snapshot_bytes, meta), ...]) — may be
+        empty; ``meta`` is :meth:`Partition.meta_of` of the exported
+        state (location, stack depth, prefix length), so the coordinator
+        can score the re-queued partition without decoding the blob.
     (MSG_STATS, worker_id, EngineStats, SolverStats, store_payload)
         — final, pre-exit; ``store_payload`` is the worker's buffered
           persistent-store inserts (canonical constraint rows + UNSAT

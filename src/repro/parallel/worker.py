@@ -24,6 +24,7 @@ from ..engine.executor import Engine
 from ..engine.state import SymState
 from ..env.argv import ArgvSpec
 from ..programs.registry import get_program
+from .partition import Partition
 from .wire import (
     CMD_STEAL,
     MSG_DONE,
@@ -89,9 +90,18 @@ def run_partition(
             # A consumed steal request is always answered (possibly with
             # nothing), so the coordinator's accounting stays exact.
             # Keep at least one state locally: the thief gets the far
-            # frontier, we keep making progress on the near one.
+            # frontier, we keep making progress on the near one.  Each
+            # exported state ships with its scheduling metadata — the
+            # coordinator re-queues stolen work through the same priority
+            # scheduler as split partitions, without decoding blobs.
             exported = engine.export_frontier(len(engine.worklist) // 2)
-            result_q.put((MSG_STOLEN, worker_id, [s.snapshot() for s in exported]))
+            result_q.put(
+                (
+                    MSG_STOLEN,
+                    worker_id,
+                    [(s.snapshot(), Partition.meta_of(s)) for s in exported],
+                )
+            )
     new_tests = list(engine.tests.cases[tests_before:])
     new_cov = engine.coverage.covered - covered_before
     return new_tests, new_cov, engine.stats.paths_completed - paths_before

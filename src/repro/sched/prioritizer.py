@@ -1,0 +1,288 @@
+"""Comparable scheduling scores from pluggable signals, plus the heap.
+
+A :class:`Signal` scores one work item; a :class:`Prioritizer` composes
+several into a lexicographic key (lower = run sooner) and keeps the
+registered items in a binary heap with *lazy rescoring*: keys are
+computed at registration time, and a popped minimum is re-checked against
+its current key before it is trusted.
+
+Why lazy rescoring is sound here: every dynamic signal in this module is
+**monotone** while an item sits in the worklist — run coverage only
+grows (``CoverageFrontierSignal`` can flip 0→1, never back), pick counts
+only grow, and the corpus/QCE/depth/topological signals are static for a
+resident state.  A stored key is therefore always a *lower bound* on the
+current key, which is exactly the invariant a lazy heap needs: the top
+entry either verifies (it is the true minimum) or is pushed back with
+its corrected, larger key.  Custom signals must preserve this law — a
+signal whose score can *improve* for a waiting item would make the heap
+return non-minima (still safe, merely suboptimal, but it voids the
+``test_sched`` heap-law test).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+
+class Signal:
+    """One scheduling signal: ``score(item, engine)`` — lower runs sooner.
+
+    ``item`` is a live :class:`~repro.engine.state.SymState` for search
+    scheduling; partition dispatch uses :func:`partition_score` directly
+    (partition metadata is a frozen snapshot, not a live state).
+    Scores must be mutually comparable across calls (numbers or
+    homogeneous tuples) and must never *decrease* while the item stays
+    registered (see the module docstring).
+    """
+
+    name = "signal"
+
+    def score(self, state, engine):
+        raise NotImplementedError
+
+
+class CoverageFrontierSignal(Signal):
+    """0 when the state's current block is uncovered this run, else 1.
+
+    The global coverage frontier: states about to execute new code win
+    outright over states re-walking covered blocks.
+    """
+
+    name = "coverage-frontier"
+
+    def score(self, state, engine):
+        frame = state.top
+        return 0 if (frame.func, frame.block) not in engine.coverage.covered else 1
+
+
+class CorpusNoveltySignal(Signal):
+    """0 when no stored corpus test has ever covered the current block.
+
+    Cross-run evidence from :mod:`repro.store`: a block absent from the
+    corpus coverage index is novel across *every* recorded run, not just
+    this one, so states heading there are the cheapest route to new
+    coverage.  Engines without a store report an empty corpus set and
+    the signal is neutral (scores 0 for everything).
+    """
+
+    name = "corpus-novelty"
+
+    def score(self, state, engine):
+        corpus = getattr(engine, "corpus_covered", None)
+        if not corpus:
+            return 0
+        frame = state.top
+        return 0 if (frame.func, frame.block) not in corpus else 1
+
+
+class PickCountSignal(Signal):
+    """How often this location has already been picked (shared counter).
+
+    De-prioritizes burning the budget on extra unrollings of a loop that
+    has been serviced many times — KLEE's coverage-optimized searcher's
+    second criterion.  The counter object is shared with (and bumped by)
+    the owning strategy, which is what makes resident keys go stale; the
+    heap's lazy rescoring absorbs that.
+    """
+
+    name = "pick-count"
+
+    def __init__(self, counts: Counter):
+        self.counts = counts
+
+    def score(self, state, engine):
+        frame = state.top
+        return self.counts[(frame.func, frame.block)]
+
+
+class QceLoadSignal(Signal):
+    """Bucketed QCE query-count estimate Qt at the state's location.
+
+    ``prefer='light'`` runs cheap states first (few estimated remaining
+    queries — complete paths quickly); ``prefer='heavy'`` runs expensive
+    subtrees first (longest-processing-time order, which is what the
+    partition scheduler wants to minimize makespan).  The raw Qt is
+    log-bucketed so the signal only discriminates order-of-magnitude
+    differences and leaves finer ties to later signals.
+    """
+
+    name = "qce-load"
+
+    def __init__(self, qt_table: dict[tuple[str, str], float], prefer: str = "light"):
+        self.qt_table = qt_table
+        if prefer not in ("light", "heavy"):
+            raise ValueError(f"prefer must be 'light' or 'heavy', not {prefer!r}")
+        self.sign = 1 if prefer == "light" else -1
+
+    def score(self, state, engine):
+        frame = state.top
+        return self.sign * _qt_bucket(self.qt_table.get((frame.func, frame.block), 0.0))
+
+
+def _qt_bucket(qt: float) -> int:
+    """Log2 bucket of a Qt estimate (0 for <=1 expected queries)."""
+    bucket = 0
+    value = qt
+    while value > 1.0 and bucket < 62:
+        value /= 2.0
+        bucket += 1
+    return bucket
+
+
+class DepthSignal(Signal):
+    """Path-prefix depth (|pc|); ``prefer='deep'`` explores deepest first."""
+
+    name = "depth"
+
+    def __init__(self, prefer: str = "deep"):
+        if prefer not in ("deep", "shallow"):
+            raise ValueError(f"prefer must be 'deep' or 'shallow', not {prefer!r}")
+        self.sign = -1 if prefer == "deep" else 1
+
+    def score(self, state, engine):
+        return self.sign * len(state.pc)
+
+
+class TopologicalSignal(Signal):
+    """Static state merging's order: the full CFG-topological key."""
+
+    name = "topological"
+
+    def score(self, state, engine):
+        from ..search.strategies import topological_key  # local: avoid cycle
+
+        return topological_key(state, engine)
+
+
+class Prioritizer:
+    """A lexicographic composition of signals over a lazily-rescored heap.
+
+    Two usage modes, matching how strategies are exercised:
+
+    * **registered** — the engine mirrors its worklist through
+      ``add``/``remove`` (the strategy ``on_add``/``on_remove`` hooks) and
+      ``select`` answers from the heap: signals are scored once per
+      residency (at ``add``, re-scored only when stale) instead of once
+      per state per pick.  The final state→index mapping is still a
+      linear identity scan — the worklist is a plain list — so a pick is
+      O(n) in cheap pointer compares but no longer O(n · signals) in
+      signal evaluations;
+    * **ad hoc** — ``select`` on a worklist that was never registered
+      (direct strategy calls in tests, subset ranking) falls back to a
+      linear argmin over fresh keys.  ``select_among``/``select_worst``
+      are always linear: they serve rare paths (DSM forwarding subsets,
+      steal-victim choice) where heap bookkeeping would cost more than
+      it saves.
+
+    ``rng`` (optional) supplies a tiebreak drawn once per registration —
+    frozen per heap entry so rescoring compares stably — mirroring the
+    randomized tie-breaking the coverage strategy always had.
+    """
+
+    def __init__(self, signals, rng=None):
+        self.signals = tuple(signals)
+        self.rng = rng
+        # Heap entries: [key, tiebreak, seq, sid, version].  ``version``
+        # invalidates entries from a previous residency of the same sid.
+        self._heap: list[list] = []
+        self._alive: dict[int, object] = {}
+        self._version: dict[int, int] = {}
+        self._seq = 0
+        self.picks = 0
+        self._rescores = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def key(self, state, engine) -> tuple:
+        return tuple(signal.score(state, engine) for signal in self.signals)
+
+    def _tiebreak(self) -> float:
+        return self.rng.random() if self.rng is not None else 0.0
+
+    def add(self, state, engine) -> None:
+        sid = state.sid
+        version = self._version.get(sid, 0) + 1
+        self._version[sid] = version
+        self._alive[sid] = state
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            [self.key(state, engine), self._tiebreak(), self._seq, sid, version],
+        )
+
+    def remove(self, state) -> None:
+        self._alive.pop(state.sid, None)
+        if not self._alive:
+            # Worklist drained (end of run or full frontier export): drop
+            # every stale entry at once instead of popping them one by one.
+            self._heap.clear()
+            self._version.clear()
+
+    def __len__(self) -> int:
+        return len(self._alive)
+
+    def take_rescores(self) -> int:
+        """Rescore count since the last call (flushed into EngineStats)."""
+        count = self._rescores
+        self._rescores = 0
+        return count
+
+    # -- selection -----------------------------------------------------------
+
+    def select(self, worklist, engine) -> int:
+        """Index of the best worklist state (heap path when registered)."""
+        if len(self._alive) != len(worklist):
+            return self._scan(worklist, engine)
+        while self._heap:
+            entry = self._heap[0]
+            key, _tb, _seq, sid, version = entry
+            state = self._alive.get(sid)
+            if state is None or self._version.get(sid) != version:
+                heapq.heappop(self._heap)
+                continue
+            fresh = self.key(state, engine)
+            if fresh != key:
+                # Stale lower bound: correct it in place and re-sift.
+                entry[0] = fresh
+                heapq.heapreplace(self._heap, entry)
+                self._rescores += 1
+                continue
+            for index, candidate in enumerate(worklist):
+                if candidate is state:
+                    self.picks += 1
+                    return index
+            # Foreign worklist (same length by coincidence): fall back.
+            return self._scan(worklist, engine)
+        return self._scan(worklist, engine)
+
+    def select_among(self, worklist, indices, engine) -> int:
+        """Best index among a subset (linear; used for DSM forwarding)."""
+        best = None
+        best_key = None
+        for index in indices:
+            key = (self.key(worklist[index], engine), self._tiebreak(), index)
+            if best_key is None or key < best_key:
+                best_key, best = key, index
+        if best is None:
+            raise ValueError("select_among over an empty subset")
+        return best
+
+    def select_worst(self, worklist, engine) -> int:
+        """Index of the *lowest-priority* state (steal-victim choice)."""
+        worst = 0
+        worst_key = None
+        for index, state in enumerate(worklist):
+            key = (self.key(state, engine), self._tiebreak(), index)
+            if worst_key is None or key > worst_key:
+                worst_key, worst = key, index
+        return worst
+
+    def _scan(self, worklist, engine) -> int:
+        best = 0
+        best_key = None
+        for index, state in enumerate(worklist):
+            key = (self.key(state, engine), self._tiebreak(), index)
+            if best_key is None or key < best_key:
+                best_key, best = key, index
+        return best

@@ -5,6 +5,7 @@ from .strategies import (
     BfsStrategy,
     CoverageStrategy,
     DfsStrategy,
+    PrioritizedStrategy,
     RandomStrategy,
     Strategy,
     TopologicalStrategy,
@@ -17,6 +18,7 @@ __all__ = [
     "CoverageStrategy",
     "DfsStrategy",
     "DsmStrategy",
+    "PrioritizedStrategy",
     "RandomStrategy",
     "Strategy",
     "TopologicalStrategy",

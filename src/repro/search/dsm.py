@@ -16,7 +16,8 @@ from __future__ import annotations
 from collections import Counter
 
 from ..engine.state import SymState
-from .strategies import Strategy, topological_key
+from ..sched import Prioritizer, TopologicalSignal
+from .strategies import Strategy
 
 
 class DsmStrategy(Strategy):
@@ -25,7 +26,9 @@ class DsmStrategy(Strategy):
     The forwarding set is computed from hash counts maintained
     incrementally in :meth:`on_add`/:meth:`on_remove` — checking a state
     costs O(1): its current hash must occur in the global multiset more
-    often than in its own history.
+    often than in its own history.  Ranking *within* the forwarding set
+    (topologically first, per Algorithm 2) delegates to a
+    :class:`~repro.sched.Prioritizer` over the shared topological signal.
     """
 
     name = "dsm"
@@ -36,6 +39,14 @@ class DsmStrategy(Strategy):
         self.hash_counts: Counter = Counter()
         self.own_counts: dict[int, Counter] = {}
         self.ff_sids: set[int] = set()
+        self.topo = Prioritizer((TopologicalSignal(),))
+
+    def bind(self, engine) -> None:
+        self.engine = engine
+        self.driving.bind(engine)
+
+    def on_seed(self, states) -> None:
+        self.driving.on_seed(states)
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -72,7 +83,7 @@ class DsmStrategy(Strategy):
         ]
         if forwarding:
             engine.stats.dsm_fastforward_picks += 1
-            best = min(forwarding, key=lambda i: topological_key(worklist[i], engine))
+            best = self.topo.select_among(worklist, forwarding, engine)
             sid = worklist[best].sid
             if sid not in self.ff_sids:
                 self.ff_sids.add(sid)

@@ -5,20 +5,45 @@ The engine pops one state per iteration; strategies choose which.  The
 (deepest-behind states first, so partners wait at join points); ``coverage``
 approximates KLEE's coverage-optimized searcher used in the paper's
 incomplete-exploration experiments (§5.3/§5.5).
+
+Since the :mod:`repro.sched` refactor the ranking strategies are thin
+adapters over a shared :class:`~repro.sched.Prioritizer` heap: they
+declare their signal chain, mirror the engine worklist through the
+``on_add``/``on_remove`` hooks, and ``pick`` reduces to one heap
+``select`` — the bespoke per-pick O(n·signals) argmin loops are gone
+(signals are scored once per worklist residency; what remains per pick
+is the heap pop plus an identity scan mapping the winner back to its
+list index).  Strategies used without an engine binding (direct calls
+in tests) still work: the prioritizer falls back to a linear scan over
+fresh keys.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections import Counter
 
 from ..engine.state import SymState
+from ..sched import (
+    CorpusNoveltySignal,
+    CoverageFrontierSignal,
+    PickCountSignal,
+    Prioritizer,
+    TopologicalSignal,
+)
 
 
 class Strategy:
     """Base class; hooks are no-ops so strategies track only what they need."""
 
     name = "abstract"
+    # Set by ``bind`` at engine construction; prioritized strategies need
+    # it to score states inside on_add (the hook carries no engine arg).
+    engine = None
+
+    def bind(self, engine) -> None:
+        self.engine = engine
 
     def pick(self, worklist: list[SymState], engine) -> int:
         raise NotImplementedError
@@ -34,11 +59,43 @@ class Strategy:
         """
         return 0
 
+    def on_seed(self, states: list[SymState]) -> None:
+        """Called once per :meth:`Engine.seed_states` batch, before the
+        states enter the worklist — the partition-boundary hook that lets
+        a strategy reset per-partition state (RandomStrategy reseeds its
+        stream from the partition prefix here)."""
+
     def on_add(self, state: SymState) -> None:
         pass
 
     def on_remove(self, state: SymState) -> None:
         pass
+
+
+class PrioritizedStrategy(Strategy):
+    """A strategy whose ranking is a :class:`Prioritizer` over signals.
+
+    Subclasses build ``self.sched`` with their signal chain; this base
+    supplies the hook plumbing (worklist mirrored into the heap when an
+    engine is bound) and the pick/steal adapters.  ``pick`` also flushes
+    the scheduler's counters into ``EngineStats`` so experiment snapshots
+    carry the heap's work (``sched_picks``/``sched_rescores``).
+    """
+
+    sched: Prioritizer
+
+    def on_add(self, state: SymState) -> None:
+        if self.engine is not None:
+            self.sched.add(state, self.engine)
+
+    def on_remove(self, state: SymState) -> None:
+        self.sched.remove(state)
+
+    def pick(self, worklist, engine) -> int:
+        index = self.sched.select(worklist, engine)
+        engine.stats.sched_picks += 1
+        engine.stats.sched_rescores += self.sched.take_rescores()
+        return index
 
 
 class DfsStrategy(Strategy):
@@ -61,22 +118,45 @@ class BfsStrategy(Strategy):
 
 
 class RandomStrategy(Strategy):
+    """Uniform random pick, reproducible per partition prefix.
+
+    The stream is reseeded at every ``seed_states`` boundary from the
+    base seed plus the seeded states' path prefixes (their name-sensitive
+    ``named_key`` digests — stable across processes).  Exploration *within*
+    a partition is therefore a pure function of (seed, prefix), not of
+    which worker ran it or in what order partitions arrived, which is the
+    same mechanism (and guarantee) ``testgen_deterministic`` uses for
+    test content.
+    """
+
     name = "random"
 
     def __init__(self, seed: int = 0):
+        self.seed = seed
         self.rng = random.Random(seed)
+
+    def on_seed(self, states) -> None:
+        digest = hashlib.sha256(str(self.seed).encode())
+        for state in states:
+            if state.pc:
+                from ..expr.canon import named_key  # local: avoid cycle
+
+                digest.update(named_key(list(state.pc)).encode())
+            else:
+                digest.update(b"<root>")
+        self.rng = random.Random(int.from_bytes(digest.digest()[:8], "big"))
 
     def pick(self, worklist, engine) -> int:
         return self.rng.randrange(len(worklist))
 
 
-class CoverageStrategy(Strategy):
+class CoverageStrategy(PrioritizedStrategy):
     """Prefer states about to execute uncovered code; de-prioritize rework.
 
-    States whose current block is not yet covered win outright; otherwise
-    the state whose current block has been picked least often wins (an
-    approximation of KLEE's coverage-optimized searcher: it avoids burning
-    the budget on additional unrollings of already-covered loops).
+    Signal chain (see :mod:`repro.sched`): run-coverage frontier first,
+    then corpus novelty (blocks no stored test ever covered — neutral
+    without a store), then the per-location pick count, with a seeded
+    random tiebreak frozen per heap entry.
     """
 
     name = "coverage"
@@ -84,24 +164,23 @@ class CoverageStrategy(Strategy):
     def __init__(self, seed: int = 0):
         self.rng = random.Random(seed)
         self.pick_counts: Counter = Counter()
+        self.sched = Prioritizer(
+            (
+                CoverageFrontierSignal(),
+                CorpusNoveltySignal(),
+                PickCountSignal(self.pick_counts),
+            ),
+            rng=self.rng,
+        )
 
     def pick(self, worklist, engine) -> int:
-        best_idx = 0
-        best_key = None
-        for i, state in enumerate(worklist):
-            frame = state.top
-            loc = (frame.func, frame.block)
-            uncovered = 0 if loc not in engine.coverage.covered else 1
-            key = (uncovered, self.pick_counts[loc], self.rng.random())
-            if best_key is None or key < best_key:
-                best_key = key
-                best_idx = i
-        frame = worklist[best_idx].top
+        index = super().pick(worklist, engine)
+        frame = worklist[index].top
         self.pick_counts[(frame.func, frame.block)] += 1
-        return best_idx
+        return index
 
 
-class TopologicalStrategy(Strategy):
+class TopologicalStrategy(PrioritizedStrategy):
     """Explore in CFG topological order (static state merging's order).
 
     Deeper call stacks first (finish callees before their callers resume),
@@ -111,27 +190,13 @@ class TopologicalStrategy(Strategy):
 
     name = "topological"
 
-    def pick(self, worklist, engine) -> int:
-        best_idx = 0
-        best_key = None
-        for i, state in enumerate(worklist):
-            key = topological_key(state, engine)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_idx = i
-        return best_idx
+    def __init__(self):
+        self.sched = Prioritizer((TopologicalSignal(),))
 
     def steal_pick(self, worklist, engine) -> int:
         # Export the topologically *last* state: it is the farthest from
         # any pending join, so removing it perturbs merging the least.
-        worst_idx = 0
-        worst_key = None
-        for i, state in enumerate(worklist):
-            key = topological_key(state, engine)
-            if worst_key is None or key > worst_key:
-                worst_key = key
-                worst_idx = i
-        return worst_idx
+        return self.sched.select_worst(worklist, engine)
 
 
 def topological_key(state: SymState, engine) -> tuple:

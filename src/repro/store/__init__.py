@@ -32,7 +32,13 @@ parallel coordinator; see also ROADMAP.md):
   test multiset as cold runs.
 """
 
-from .corpus import corpus_coverage, record_tests, replay_coverage, seed_query_cache
+from .corpus import (
+    corpus_coverage,
+    corpus_covered_blocks,
+    record_tests,
+    replay_coverage,
+    seed_query_cache,
+)
 from .db import ReproStore, StoreError, open_store, spec_fingerprint
 from .tier import PersistentTier, apply_payload, decode_core
 
@@ -42,6 +48,7 @@ __all__ = [
     "StoreError",
     "apply_payload",
     "corpus_coverage",
+    "corpus_covered_blocks",
     "decode_core",
     "open_store",
     "record_tests",

@@ -105,3 +105,15 @@ def corpus_coverage(store: ReproStore, program: str, spec=None) -> set:
         if row["coverage"]:
             covered |= row["coverage"]
     return covered
+
+
+def corpus_covered_blocks(store: ReproStore, program: str) -> frozenset:
+    """Blocks with any stored test evidence — the scheduler's novelty set.
+
+    Served from the ``test_coverage`` index (one query, no blob decoding);
+    stores predating the index fall back to the full corpus scan.
+    """
+    blocks = store.covered_blocks(program)
+    if blocks is None:
+        blocks = corpus_coverage(store, program)
+    return frozenset(blocks)

@@ -85,6 +85,13 @@ CREATE TABLE IF NOT EXISTS tests (
 );
 CREATE INDEX IF NOT EXISTS idx_tests_program_spec ON tests(program, spec);
 CREATE INDEX IF NOT EXISTS idx_cores_program ON unsat_cores(program);
+CREATE TABLE IF NOT EXISTS test_coverage (
+    program TEXT NOT NULL,
+    func TEXT NOT NULL,
+    block TEXT NOT NULL,
+    tests INTEGER NOT NULL DEFAULT 1,
+    PRIMARY KEY (program, func, block)
+);
 """
 
 
@@ -134,6 +141,37 @@ class ReproStore:
             raise StoreError(
                 f"store {self.path!r} has schema v{row[0]}, expected v{SCHEMA_VERSION}"
             )
+        if not readonly:
+            self._backfill_coverage_index()
+
+    def _backfill_coverage_index(self) -> None:
+        """Populate ``test_coverage`` for stores created before the index.
+
+        The table is additive (``CREATE TABLE IF NOT EXISTS`` — no schema
+        version bump), so a pre-index store opened by a writer gets the
+        table empty while its ``tests`` rows carry coverage blobs.  One
+        full scan here rebuilds the index; subsequent opens are no-ops.
+        """
+        indexed = self.conn.execute("SELECT COUNT(*) FROM test_coverage").fetchone()[0]
+        covered_tests = self.conn.execute(
+            "SELECT COUNT(*) FROM tests WHERE coverage_hash IS NOT NULL"
+        ).fetchone()[0]
+        if indexed or not covered_tests:
+            return
+        rows = self.conn.execute(
+            "SELECT t.program, b.data FROM tests t JOIN blobs b"
+            " ON b.hash = t.coverage_hash"
+        ).fetchall()
+        counts: dict[tuple[str, str, str], int] = {}
+        for program, blob in rows:
+            for func, block in pickle.loads(blob):
+                key = (program, func, block)
+                counts[key] = counts.get(key, 0) + 1
+        self.conn.executemany(
+            "INSERT INTO test_coverage(program, func, block, tests) VALUES (?, ?, ?, ?)",
+            [(p, f, b, n) for (p, f, b), n in counts.items()],
+        )
+        self.conn.commit()
 
     def close(self) -> None:
         self.conn.close()
@@ -212,6 +250,13 @@ class ReproStore:
                 (program, digest, size, run_id),
             )
             inserted += cur.rowcount
+            if not cur.rowcount and run_id is not None:
+                # Re-derived core: refresh provenance (see put_tests).
+                self.conn.execute(
+                    "UPDATE unsat_cores SET created_run = ?"
+                    " WHERE program IS ? AND blob_hash = ?",
+                    (run_id, program, digest),
+                )
         self.conn.commit()
         return inserted
 
@@ -287,12 +332,12 @@ class ReproStore:
         """
         if self.readonly:
             raise StoreError("read-only store cannot accept tests")
-        before = self.conn.total_changes
+        inserted = 0
         for kind, path_id, line, argv, model_items, stdin, multiplicity, coverage in rows:
             cov_hash = None
             if coverage is not None:
                 cov_hash = self.put_blob(pickle.dumps(tuple(sorted(coverage))))
-            self.conn.execute(
+            cur = self.conn.execute(
                 "INSERT OR IGNORE INTO tests(program, spec, kind, path_id, line,"
                 " argv, model, stdin, multiplicity, coverage_hash, created_run)"
                 " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -310,8 +355,33 @@ class ReproStore:
                     run_id,
                 ),
             )
+            if cur.rowcount:
+                inserted += 1
+                if coverage:
+                    # Maintain the (program, covered-block) index only for
+                    # rows actually inserted, so dedup re-runs don't
+                    # inflate counts.
+                    self.conn.executemany(
+                        "INSERT INTO test_coverage(program, func, block, tests)"
+                        " VALUES (?, ?, ?, 1)"
+                        " ON CONFLICT(program, func, block)"
+                        " DO UPDATE SET tests = tests + 1",
+                        [(program, func, block) for func, block in coverage],
+                    )
+            elif run_id is not None:
+                # Duplicate: this run *reproduced* the stored test.
+                # Refresh the provenance so gc()'s age-out keys on
+                # last-seen, not first-seen — a corpus row confirmed by
+                # every recent run must never age out with the old run
+                # that first found it.
+                self.conn.execute(
+                    "UPDATE tests SET created_run = ? WHERE program = ?"
+                    " AND spec = ? AND kind = ? AND path_id = ? AND line = ?",
+                    (run_id, program, spec, kind, path_id,
+                     line if line is not None else -1),
+                )
         self.conn.commit()
-        return self.conn.total_changes - before
+        return inserted
 
     def iter_tests(self, program: str, spec: str | None = None) -> list[dict]:
         """Corpus rows for a program (optionally one spec), oldest first."""
@@ -357,6 +427,53 @@ class ReproStore:
         ).fetchall()
         return [dict(pickle.loads(row[0])) for row in reversed(rows)]
 
+    def covered_blocks(self, program: str) -> set[tuple[str, str]] | None:
+        """Blocks any stored test covers, from the (program, block) index.
+
+        One indexed query instead of decoding every coverage blob — the
+        scheduler's uncovered-prefix lookup (:mod:`repro.sched`) calls
+        this at engine construction.  Returns ``None`` when the store
+        predates the index (read-only open of an old file); callers fall
+        back to the full corpus scan.
+        """
+        try:
+            rows = self.conn.execute(
+                "SELECT func, block FROM test_coverage WHERE program = ?",
+                (program,),
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return None
+        return {(func, block) for func, block in rows}
+
+    def last_parallel_imbalance(self, program: str) -> float | None:
+        """Worker imbalance recorded by the most recent parallel run.
+
+        Reads the ``sched_imbalance`` field out of the newest run row
+        whose mode string marks a multi-worker run; the adaptive
+        ``partition_factor`` policy (:func:`repro.sched
+        .adaptive_partition_factor`) scales the next split with it.
+        """
+        try:
+            # workers=1 runs are the sequential special case and always
+            # record the neutral 1.0 — they carry no balance signal and
+            # must not mask a real multi-worker observation.
+            rows = self.conn.execute(
+                "SELECT stats_json FROM runs WHERE program = ?"
+                " AND mode LIKE '%workers=%' AND mode NOT LIKE '%workers=1'"
+                " AND stats_json IS NOT NULL ORDER BY id DESC LIMIT 5",
+                (program,),
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return None
+        for (stats_json,) in rows:
+            try:
+                value = json.loads(stats_json).get("sched_imbalance")
+            except ValueError:
+                continue
+            if value:
+                return float(value)
+        return None
+
     def test_count(self, program: str | None = None) -> int:
         if program is None:
             return self.conn.execute("SELECT COUNT(*) FROM tests").fetchone()[0]
@@ -373,6 +490,61 @@ class ReproStore:
             "runs": self.conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0],
             "blobs": self.conn.execute("SELECT COUNT(*) FROM blobs").fetchone()[0],
         }
+
+    # -- garbage collection ----------------------------------------------------
+
+    def gc(self, keep_runs: int = 16) -> dict[str, int]:
+        """Age out rows created by all but the newest ``keep_runs`` runs.
+
+        A store grows monotonically; this is the ROADMAP'd compaction:
+        drop run rows — and the constraint/core/test rows last confirmed
+        before the cutoff — then sweep blobs nothing references anymore
+        and rebuild the coverage index from the surviving tests.
+
+        ``created_run`` means *last-seen*, not first-seen: every run
+        that reproduces a corpus test or re-derives a core refreshes the
+        row's provenance (:meth:`put_tests`/:meth:`put_cores`), so the
+        live corpus never ages out with the old run that first found it.
+        Constraint rows are the exception — a warm run that *answers*
+        from the store does not rewrite the row, so constraint entries
+        age out unless some recent run re-solved them; losing one only
+        costs a future re-solve, never knowledge.  Rows with no
+        ``created_run`` provenance (pre-store-tier inserts) are kept:
+        age-out must never guess.  Returns per-table deletion counts.
+        """
+        if self.readonly:
+            raise StoreError("read-only store cannot be garbage-collected")
+        if keep_runs < 0:
+            raise ValueError("keep_runs must be >= 0")
+        deleted: dict[str, int] = {}
+        cur = self.conn.cursor()
+        for table in ("constraint_cache", "unsat_cores", "tests", "runs"):
+            column = "id" if table == "runs" else "created_run"
+            if keep_runs == 0:
+                cur.execute(f"DELETE FROM {table} WHERE {column} IS NOT NULL")
+            else:
+                # Rows created by runs older than the newest keep_runs run
+                # ids; with fewer recorded runs than the budget, the
+                # subquery's MIN is the oldest run and nothing matches.
+                cur.execute(
+                    f"DELETE FROM {table} WHERE {column} <"
+                    " (SELECT MIN(id) FROM"
+                    "  (SELECT id FROM runs ORDER BY id DESC LIMIT ?))",
+                    (keep_runs,),
+                )
+            deleted[table] = cur.rowcount
+        cur.execute(
+            "DELETE FROM blobs WHERE hash NOT IN"
+            " (SELECT coverage_hash FROM tests WHERE coverage_hash IS NOT NULL)"
+            " AND hash NOT IN (SELECT blob_hash FROM unsat_cores)"
+        )
+        deleted["blobs"] = cur.rowcount
+        if deleted.get("tests"):
+            cur.execute("DELETE FROM test_coverage")
+            self.conn.commit()
+            self._backfill_coverage_index()
+        self.conn.commit()
+        return deleted
 
 
 def open_store(
