@@ -25,6 +25,7 @@ from .figures import (
     fig4_path_ratio,
     fig5_speedup_curve,
     fig6_scatter,
+    fault_tolerance,
     fig7_alpha_sweep,
     fig8_coverage,
     fig9_dsm_vs_ssm,
@@ -48,6 +49,7 @@ FIGURES = {
     "cache": cache_report,
     "presolve": presolve_ablation,
     "sched": sched_ablation,
+    "fault": fault_tolerance,
 }
 
 

@@ -23,6 +23,7 @@ from .harness import (
     cost_of,
     run_cell,
     run_parallel_cell,
+    settings_to_spec_config,
 )
 from .pathcount import PathFit, calibrate, collect_points, fit_points
 from .report import render_table
@@ -1217,3 +1218,116 @@ def parallel_scaling(
             )
         )
     return ParallelScalingResult(workers=workers, rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance — crash recovery on the socket transport
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultRow:
+    program: str
+    fault: str  # "<method>@<event>": kill/disconnect at start/done
+    paths: int
+    tests: int
+    partitions: int
+    requeues: int
+    workers_lost: int
+
+
+@dataclass
+class FaultToleranceResult:
+    workers: int
+    rows: list[FaultRow] = field(default_factory=list)
+
+    def table(self) -> str:
+        data = [
+            [r.program, r.fault, r.paths, r.tests, r.partitions, r.requeues,
+             r.workers_lost]
+            for r in self.rows
+        ]
+        return render_table(
+            ["tool", "fault", "paths", "tests", "parts", "requeues", "lost"],
+            data,
+            title=(
+                f"Fault tolerance — {self.workers}-worker socket campaigns with "
+                "one injected worker fault; every row verified identical to the "
+                "undisturbed sequential run (test multiset + coverage + ledger)"
+            ),
+        )
+
+
+def fault_tolerance(
+    scale: str = CI, programs=None, workers: int = 2
+) -> FaultToleranceResult:
+    """Crash-recovery validation on the socket transport (§4.3 claims).
+
+    For each program, run the sequential baseline once, then three
+    socket-transport campaigns each disturbed by one injected fault —
+    SIGKILL at a partition start, a dropped connection (simulated network
+    partition) at a partition start, SIGKILL right after a completion —
+    via the coordinator's ``fault_injector`` chaos hook.  Every recovered
+    campaign must emit the *identical* plain-mode test multiset and block
+    coverage as the undisturbed run and pass ``check_ledger()``: the
+    lease layer requeues revoked partitions and discards revoked partial
+    results, so a worker death is invisible in the output.  A mismatch
+    raises.
+    """
+    from ..parallel import Coordinator, ParallelConfig  # local import: avoid cycle
+
+    programs = programs or ["wc", "uniq"]
+    arg_len = None if scale == CI else 3
+    faults = [("kill", "start"), ("disconnect", "start"), ("kill", "done")]
+    rows: list[FaultRow] = []
+    for program in programs:
+        settings = RunSettings(program=program, mode="plain", arg_len=arg_len,
+                               generate_tests=True)
+        seq = run_parallel_cell(settings, workers=1)
+        seq_tests = _test_multiset(seq.tests.cases)
+        for method, event in faults:
+            spec, config = settings_to_spec_config(settings)
+            coordinator = Coordinator(
+                program, spec, config,
+                ParallelConfig(workers=workers, backend="socket",
+                               heartbeat_timeout=3.0),
+            )
+            fired: list[int] = []
+
+            def chaos(ev, wid, transport, method=method, event=event,
+                      fired=fired):
+                if ev == event and not fired:
+                    fired.append(wid)
+                    getattr(transport, method)(wid)
+
+            coordinator.fault_injector = chaos
+            par = coordinator.run()
+            par.check_ledger()
+            label = f"{method}@{event}"
+            if _test_multiset(par.tests.cases) != seq_tests:
+                raise AssertionError(
+                    f"{program}/{label}: recovered campaign changed the test "
+                    f"suite ({len(seq.tests.cases)} vs {len(par.tests.cases)} "
+                    "and/or contents)"
+                )
+            if par.covered != seq.covered:
+                raise AssertionError(
+                    f"{program}/{label}: recovered campaign changed coverage"
+                )
+            if fired and par.workers_lost != 1:
+                raise AssertionError(
+                    f"{program}/{label}: fault fired on worker {fired[0]} but "
+                    f"workers_lost={par.workers_lost}"
+                )
+            rows.append(
+                FaultRow(
+                    program=program,
+                    fault=label,
+                    paths=par.paths,
+                    tests=len(par.tests.cases),
+                    partitions=par.partitions,
+                    requeues=par.requeues,
+                    workers_lost=par.workers_lost,
+                )
+            )
+    return FaultToleranceResult(workers=workers, rows=rows)

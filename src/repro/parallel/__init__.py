@@ -25,10 +25,18 @@ Invariants (see the module docstrings for details):
   (:meth:`ParallelResult.check_ledger`);
 * **determinism** — with deterministic test generation (the engine
   default), a 1-worker and an N-worker plain-mode run emit the same test
-  set and cover the same paths, independent of scheduling.
+  set and cover the same paths, independent of scheduling — *including*
+  runs where workers die mid-campaign on the socket backend, thanks to
+  the lease/requeue layer (:mod:`repro.remote`).
 """
 
-from .coordinator import Coordinator, ParallelConfig, ParallelResult, run_parallel
+from .coordinator import (
+    Coordinator,
+    ParallelConfig,
+    ParallelResult,
+    WorkerCrashError,
+    run_parallel,
+)
 from .partition import Partition
 
 __all__ = [
@@ -36,5 +44,6 @@ __all__ = [
     "ParallelConfig",
     "ParallelResult",
     "Partition",
+    "WorkerCrashError",
     "run_parallel",
 ]

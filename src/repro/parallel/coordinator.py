@@ -1,4 +1,4 @@
-"""The coordinator: partition, dispatch, merge, rebalance.
+"""The coordinator: partition, dispatch, merge, rebalance, recover.
 
 The run has three phases:
 
@@ -9,29 +9,50 @@ The run has three phases:
    small enough that the sequential answer *is* the answer — workers are
    never spawned, and sequential mode is literally the degenerate case of
    this code path.
-2. **Dispatch** — partitions go to a worker pool (process-based by
-   default, inline for deterministic testing) through a
-   :class:`~repro.sched.PartitionScheduler` priority queue: the shared
-   task queue is kept primed with at most one task per worker, and every
-   refill hands out the best-scored pending partition (corpus novelty,
-   QCE load, prefix depth — see :mod:`repro.sched`).  When everything is
-   dispatched while some workers are still busy, the coordinator sends
-   steal requests — victim choice routes through the same scheduler —
-   and re-queues whatever frontier the busy workers export (work
-   stealing for intra-partition imbalance).  The split fan-out itself
-   adapts: with a persistent store, ``partition_factor=None`` scales the
-   target frontier by the worker imbalance previous runs recorded.
+2. **Dispatch** — partitions go to workers through a
+   :class:`~repro.sched.PartitionScheduler` priority queue and a
+   *transport* (:mod:`repro.remote.transport`): the fork-based
+   multiprocessing-queue pool, the length-prefixed TCP socket backend
+   (workers on other hosts), or the inline backend for deterministic
+   testing.  The event loop keeps at most one task in flight per worker,
+   so every hand-out is the best-scored pending partition (corpus
+   novelty, QCE load, prefix depth — see :mod:`repro.sched`).  When
+   everything is dispatched while some workers are still busy, the
+   coordinator sends steal requests — victim choice routes through the
+   same scheduler — and re-queues whatever frontier the busy workers
+   export.  The split fan-out itself adapts: with a persistent store,
+   ``partition_factor=None`` scales the target frontier by the worker
+   imbalance previous runs recorded.
 3. **Merge** — per-partition results stream in (tests, coverage, path
-   counts); on shutdown each worker ships its full stats, and the
-   coordinator folds everything into one ledger whose additive fields
-   are exactly the sums of the per-participant entries
-   (:meth:`EngineStats.merge` / :meth:`SolverStats.merge`).
+   counts, cumulative stats snapshots); the coordinator folds everything
+   into one ledger whose additive fields are exactly the sums of the
+   per-participant entries (:meth:`EngineStats.merge` /
+   :meth:`SolverStats.merge`).
+
+**Fault tolerance (lease layer).**  On lease-tracking transports (the
+socket backend), every dispatched partition is a *lease*: the owning
+worker id plus a liveness deadline maintained from its heartbeats.  When
+a worker dies — SIGKILL, dropped connection, missed heartbeats — the
+coordinator *fences* it (closes its channel; every later message from it
+is discarded) and requeues the leased partition through the scheduler.
+Because results only ever merge at partition completion, and because a
+worker's ledger contribution is the sum of per-accepted-partition stats
+*deltas* (differences of consecutive cumulative snapshots), a revoked
+partition's partial results are discarded, never double-counted — the
+disjointness and ledger invariants survive worker death, and a recovered
+plain-mode run emits the identical test multiset as an undisturbed one.
+Steal replies checkpoint the victim's retained frontier plus interim
+results, so even a partially-stolen-from partition recovers exactly.
+
+The queue (fork) backend has no lease layer: a worker death there is
+detected promptly — including the silent exitcode-0 case that used to
+hang the drain loop — and surfaced as a named :class:`WorkerCrashError`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import queue as queue_mod
+import copy
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -55,7 +76,16 @@ from .wire import (
     TASK_STOP,
     encode_config,
 )
-from .worker import run_partition, worker_main
+from .worker import run_partition
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died (or the fleet did) in a way the run cannot absorb.
+
+    Raised when the queue backend loses a worker (no lease layer there),
+    when every worker of a socket campaign is gone, or when one
+    partition keeps killing its owners (``max_partition_requeues``).
+    """
 
 
 @dataclass(frozen=True)
@@ -76,13 +106,34 @@ class ParallelConfig:
     # Give up splitting after this many blocks even if the frontier is
     # small — skinny trees fork rarely and may never reach the target.
     split_max_steps: int = 512
-    # 'process' forks real workers; 'inline' runs the same protocol
-    # round-robin in this process (deterministic, for tests and for
-    # environments without fork).
+    # 'process' forks workers over multiprocessing queues; 'socket' runs
+    # the length-prefixed TCP transport (workers may live on other
+    # hosts) with the lease-based fault-tolerance layer; 'inline' runs
+    # the same protocol round-robin in this process (deterministic, for
+    # tests and for environments without fork).
     backend: str = "process"
     steal: bool = True
     poll_timeout: float = 0.5
     join_timeout: float = 10.0
+    # -- socket transport --------------------------------------------------
+    # Bind address for the coordinator's listener.  Port 0 = ephemeral.
+    socket_host: str = "127.0.0.1"
+    socket_port: int = 0
+    # True: fork local processes that connect over loopback (tests, CI,
+    # single-host speedups).  False: only listen — workers join with
+    # `python -m repro.remote worker --connect host:port` from anywhere.
+    spawn_workers: bool = True
+    accept_timeout: float = 30.0
+    # Worker-side beacon period and the coordinator-side lease deadline:
+    # a worker silent for longer than heartbeat_timeout is declared dead
+    # and its partition requeued.  The timeout must dominate the
+    # interval by a healthy factor (GC pauses, loaded hosts).
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 5.0
+    # A partition whose lease is revoked more than this many times is
+    # presumed poison (it kills every owner) and fails the run by name
+    # instead of cycling forever.
+    max_partition_requeues: int = 3
 
 
 # One ledger participant: (name, engine stats, solver stats).
@@ -125,6 +176,11 @@ class ParallelResult:
     partition_factor: int = 0
     imbalance: float = 1.0
     partition_results: list = field(default_factory=list)
+    # Fault-tolerance telemetry: partitions whose lease was revoked and
+    # requeued (includes retained-checkpoint re-queues), and workers
+    # fenced after dying mid-campaign.  Both 0 on an undisturbed run.
+    requeues: int = 0
+    workers_lost: int = 0
 
     @property
     def paths(self) -> int:
@@ -172,13 +228,36 @@ class ParallelResult:
             )
         # Streamed per-partition results must agree with the final stats:
         # every path beyond the coordinator's split phase was reported in
-        # exactly one MSG_DONE.
+        # exactly one accepted MSG_DONE (or one accepted steal-checkpoint
+        # interim result) — revoked partitions contribute nothing.
         split_paths = self.ledger[0][1].paths_completed
         if self.stats.paths_completed != split_paths + self.streamed_paths:
             raise AssertionError(
                 f"ledger violation: paths_completed={self.stats.paths_completed} "
                 f"!= split {split_paths} + streamed {self.streamed_paths}"
             )
+
+
+def _engine_stats_delta(cur: EngineStats, prev: EngineStats | None) -> EngineStats:
+    """Additive difference of two cumulative snapshots (max/or fields keep
+    the cumulative value — merged maxima only ever read upper bounds)."""
+    if prev is None:
+        return cur
+    out = copy.deepcopy(cur)
+    for name in cur.__dataclass_fields__:
+        if name in EngineStats._MAX_FIELDS or name in EngineStats._OR_FIELDS:
+            continue
+        setattr(out, name, getattr(cur, name) - getattr(prev, name))
+    return out
+
+
+def _solver_stats_delta(cur: SolverStats, prev: SolverStats | None) -> SolverStats:
+    if prev is None:
+        return cur
+    out = copy.deepcopy(cur)
+    for name in cur.__dataclass_fields__:
+        setattr(out, name, getattr(cur, name) - getattr(prev, name))
+    return out
 
 
 class Coordinator:
@@ -199,11 +278,17 @@ class Coordinator:
             raise ValueError("workers must be >= 1")
         self.partitions_dispatched = 0
         self.steals = 0
+        self.requeues = 0
+        self.workers_lost = 0
         self._next_pid = 0
         # Built in run(): the partition scheduler and the effective split
         # factor (resolved from the store when the config says adaptive).
         self._sched: PartitionScheduler | None = None
         self._factor = 0
+        # Chaos hook for the fault-injection harness: called as
+        # fault_injector(event, wid, transport) after every processed
+        # "start"/"done" event; may transport.kill(wid)/disconnect(wid).
+        self.fault_injector = None
 
     # -- public entry -----------------------------------------------------------
 
@@ -216,6 +301,8 @@ class Coordinator:
         par = self.parallel
         if par.dispatch not in ("corpus", "fifo"):
             raise ValueError(f"unknown dispatch policy {par.dispatch!r}")
+        if par.backend not in ("inline", "process", "socket"):
+            raise ValueError(f"unknown backend {par.backend!r}")
         self._factor = (
             par.partition_factor
             if par.partition_factor is not None
@@ -237,11 +324,12 @@ class Coordinator:
             return self._assemble(split_engine, [], [], set(), start)
 
         # One scheduler scores every dispatch decision of this run: split
-        # partitions, stolen re-queues, and steal-victim choice.  Its
-        # signals come from the same sources the search strategies use —
-        # the store's corpus-coverage index and the QCE Qt export.  The
-        # Qt supplier is lazy: only victim selection reads the load
-        # signal, so runs that never steal never run the QCE analysis.
+        # partitions, stolen/requeued partitions, and steal-victim
+        # choice.  Its signals come from the same sources the search
+        # strategies use — the store's corpus-coverage index and the QCE
+        # Qt export.  The Qt supplier is lazy: only victim selection
+        # reads the load signal, so runs that never steal never run the
+        # QCE analysis.
         self._sched = PartitionScheduler(
             split_engine.corpus_covered,
             qt_table=lambda: (
@@ -254,12 +342,15 @@ class Coordinator:
             entries, tests, covered, streamed, payloads, part_results = (
                 self._run_inline(module, partitions)
             )
-        elif par.backend == "process":
-            entries, tests, covered, streamed, payloads, part_results = (
-                self._run_processes(partitions)
-            )
         else:
-            raise ValueError(f"unknown backend {par.backend!r}")
+            transport = self._make_transport()
+            transport.start()
+            try:
+                entries, tests, covered, streamed, payloads, part_results = (
+                    self._run_transport(partitions, transport)
+                )
+            finally:
+                transport.close()
         return self._assemble(
             split_engine, entries, tests, covered, start, streamed, payloads,
             part_results,
@@ -280,6 +371,45 @@ class Coordinator:
         self, blob: bytes, origin: str, meta: dict | None = None
     ) -> Partition:
         return Partition.from_blob(self._alloc_pid(), blob, origin, meta)
+
+    def _make_transport(self):
+        """Resolve ParallelConfig.backend to a transport instance."""
+        from ..remote.transport import QueueTransport, SocketTransport
+
+        par = self.parallel
+        spec_payload = {
+            "n_args": self.spec.n_args,
+            "arg_len": self.spec.arg_len,
+            "prog_name": self.spec.prog_name,
+            "concrete_args": self.spec.concrete_args,
+            "stdin_len": self.spec.stdin_len,
+        }
+        config = self.config
+        if par.backend == "socket" and not par.spawn_workers and config.store_path:
+            # External workers cannot reach the coordinator's store file;
+            # strip the path so they run storeless instead of creating an
+            # empty store at a bogus path.  (Loopback workers keep it and
+            # open read-only, as fork workers always did.)
+            config = dataclasses.replace(config, store_path=None)
+        config_payload = encode_config(config)
+        if par.backend == "process":
+            return QueueTransport(
+                par.workers, self.program, spec_payload, config_payload,
+                join_timeout=par.join_timeout,
+            )
+        return SocketTransport(
+            par.workers, self.program, spec_payload, config_payload,
+            host=par.socket_host, port=par.socket_port,
+            spawn_workers=par.spawn_workers,
+            heartbeat_interval=par.heartbeat_interval,
+            heartbeat_timeout=par.heartbeat_timeout,
+            accept_timeout=par.accept_timeout,
+            join_timeout=par.join_timeout,
+        )
+
+    def _fault_event(self, event: str, wid: int, transport) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector(event, wid, transport)
 
     def _assemble(
         self,
@@ -326,6 +456,8 @@ class Coordinator:
             partition_factor=self._factor,
             imbalance=imbalance,
             partition_results=list(partition_results or []),
+            requeues=self.requeues,
+            workers_lost=self.workers_lost,
         )
 
     def _commit_store(
@@ -394,8 +526,6 @@ class Coordinator:
             # Same protocol as process workers: read-only store views,
             # inserts buffered and applied by the coordinator (the single
             # writer) at assembly time.
-            import dataclasses
-
             config = dataclasses.replace(config, store_readonly=True)
         engines = [
             Engine(module, self.spec, config, program=self.program)
@@ -425,100 +555,210 @@ class Coordinator:
             engine.close_store()
         return entries, tests, covered, streamed_paths, payloads, partition_results
 
-    # -- process backend -----------------------------------------------------------
+    # -- transport backends (process pool / socket service) ------------------------
 
-    def _run_processes(self, partitions: list[Partition]):
-        par = self.parallel
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
-        task_q = ctx.Queue()
-        result_q = ctx.Queue()
-        cmd_qs = [ctx.Queue() for _ in range(par.workers)]
-        spec_payload = {
-            "n_args": self.spec.n_args,
-            "arg_len": self.spec.arg_len,
-            "prog_name": self.spec.prog_name,
-            "concrete_args": self.spec.concrete_args,
-            "stdin_len": self.spec.stdin_len,
-        }
-        config_payload = encode_config(self.config)
-        procs = [
-            ctx.Process(
-                target=worker_main,
-                args=(wid, self.program, spec_payload, config_payload,
-                      task_q, result_q, cmd_qs[wid]),
-                daemon=True,
-            )
-            for wid in range(par.workers)
-        ]
-        for proc in procs:
-            proc.start()
-        try:
-            return self._event_loop(partitions, task_q, result_q, cmd_qs, procs)
-        finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in procs:
-                proc.join(timeout=par.join_timeout)
+    def _run_transport(self, partitions: list[Partition], transport):
+        """The select loop: dispatch leases, merge results, recover.
 
-    def _event_loop(self, partitions, task_q, result_q, cmd_qs, procs):
+        Drives any transport exposing the duck type documented in
+        :mod:`repro.remote.transport`.  On lease-tracking transports
+        (``transport.leased``) worker death revokes and requeues; on the
+        queue backend it raises a named :class:`WorkerCrashError`.
+        """
         par = self.parallel
+        sched = self._sched
+        leased = transport.leased
+        directed = transport.directed
         tests: list = []
         covered: set = set()
         streamed_paths = 0
         partition_results: list = []
-        queued = 0  # in the shared task queue, not yet picked up
-        running: dict[int, int] = {}  # wid -> pid being explored
+        fenced: dict[int, str] = {}  # wid -> death reason
+        assigned: dict[int, int] = {}  # wid -> pid of its in-flight lease
+        started: set[int] = set()  # wids whose in-flight lease saw MSG_START
+        queued = 0  # queue backend: tasks put but not yet started
         outstanding: dict[int, Partition] = {}  # pid -> dispatched partition
+        # pid -> (retained frontier, interim results): the latest steal
+        # checkpoint of a partially-stolen-from partition.
+        residuals: dict[int, tuple] = {}
+        requeue_counts: dict[int, int] = {}
+        # Lease accounting: per-worker accepted stats deltas and the last
+        # cumulative snapshot each delta was computed against.
+        deltas: dict[int, list] = {}
+        last_cum: dict[int, tuple] = {}
+        # Early/final stats messages (queue backend ledger + payloads).
+        entries_by_wid: dict[int, LedgerEntry] = {}
+        payloads_by_wid: dict[int, dict | None] = {}
         steal_inflight: set[int] = set()
         # Workers whose last steal reply was empty: their frontier is too
         # thin to split, so don't ping them again until they make progress
         # (start or finish a partition) — prevents a request/empty-reply
         # storm against a worker grinding one deep linear path.
         steal_dry: set[int] = set()
-        pending = 0  # partitions not yet done (queued, running, or held back)
+        pending = 0  # partitions not yet accepted (queued, running, or held)
         for part in partitions:
-            self._sched.push(part)
+            sched.push(part)
             pending += 1
 
-        def dispatch():
-            # Keep the shared queue primed with at most one task per
-            # worker; everything else waits in the scheduler heap so the
-            # next hand-out is always the current best-scored partition.
+        def alive_ids() -> list[int]:
+            return [w for w in transport.worker_ids if w not in fenced]
+
+        def accept(pid: int, origin: str, new_tests, new_cov, paths: int) -> None:
+            nonlocal streamed_paths
+            tests.extend(new_tests)
+            covered.update(new_cov)
+            streamed_paths += paths
+            partition_results.append((pid, origin, paths, new_cov))
+
+        def record_delta(wid: int, estats, sstats) -> None:
+            if not leased:
+                return
+            prev = last_cum.get(wid)
+            deltas.setdefault(wid, []).append(
+                (_engine_stats_delta(estats, prev[0] if prev else None),
+                 _solver_stats_delta(sstats, prev[1] if prev else None))
+            )
+            last_cum[wid] = (estats, sstats)
+
+        def requeue(part: Partition, source_pid: int) -> None:
+            nonlocal pending
+            count = requeue_counts.get(source_pid, 0) + 1
+            if count > par.max_partition_requeues:
+                raise WorkerCrashError(
+                    f"partition {source_pid} lease revoked {count} times "
+                    f"(origin {part.origin!r}); giving up on a partition "
+                    "that kills every owner"
+                )
+            requeue_counts[part.pid] = count
+            self.requeues += 1
+            sched.push(part)
+            pending += 1
+
+        def dispatch() -> None:
             nonlocal queued
-            while len(self._sched) and queued < par.workers:
-                part = self._sched.pop()
-                outstanding[part.pid] = part
-                task_q.put((TASK_PARTITION, part.pid, part.snapshot))
-                queued += 1
+            if directed:
+                # One lease in flight per worker; every hand-out is the
+                # scheduler's current best.
+                for wid in alive_ids():
+                    if wid in assigned or not len(sched):
+                        continue
+                    part = sched.pop()
+                    outstanding[part.pid] = part
+                    assigned[wid] = part.pid
+                    try:
+                        transport.send_task(
+                            wid, (TASK_PARTITION, part.pid, part.snapshot)
+                        )
+                    except OSError:
+                        pass  # death sweep revokes and requeues this lease
+            else:
+                # Shared queue: keep it primed with at most one task per
+                # worker; any idle worker pulls the next one.
+                while len(sched) and queued < par.workers:
+                    part = sched.pop()
+                    outstanding[part.pid] = part
+                    transport.send_task(
+                        None, (TASK_PARTITION, part.pid, part.snapshot)
+                    )
+                    queued += 1
+
+        def handle_death(wid: int, reason: str) -> None:
+            nonlocal pending
+            if wid in fenced:
+                return
+            if not leased:
+                pid = assigned.get(wid)
+                where = (
+                    f" with partition {pid} in flight" if pid is not None
+                    else ""
+                )
+                raise WorkerCrashError(
+                    f"parallel worker {wid} died ({reason}){where} without "
+                    "reporting an error; the queue backend cannot requeue — "
+                    "use backend='socket' for lease-based crash recovery"
+                )
+            fenced[wid] = reason
+            self.workers_lost += 1
+            transport.fence(wid)
+            steal_inflight.discard(wid)
+            steal_dry.discard(wid)
+            started.discard(wid)
+            pid = assigned.pop(wid, None)
+            if pid is not None:
+                part = outstanding.pop(pid)
+                residual = residuals.pop(pid, None)
+                pending -= 1
+                if residual is not None:
+                    # The partition donated frontier states to thieves;
+                    # its original snapshot no longer describes the
+                    # remaining work.  Recover from the last steal
+                    # checkpoint instead: accept the interim results
+                    # (paths completed before the boundary) and requeue
+                    # exactly the frontier the victim had retained.
+                    retained, interim = residual
+                    i_tests, i_cov, i_paths, i_estats, i_sstats = interim
+                    accept(pid, part.origin, i_tests, i_cov, i_paths)
+                    record_delta(wid, i_estats, i_sstats)
+                    for blob, meta in retained:
+                        child = self._new_partition_from_blob(
+                            blob, f"requeue:{wid}", meta
+                        )
+                        requeue(child, pid)
+                else:
+                    fresh = dataclasses.replace(
+                        part, pid=self._alloc_pid(), origin=f"requeue:{wid}"
+                    )
+                    requeue(fresh, pid)
+            if not alive_ids():
+                raise WorkerCrashError(
+                    f"all {par.workers} workers lost; last was worker {wid} "
+                    f"({reason})"
+                )
 
         dispatch()
         while pending > 0:
-            msg = self._next_message(result_q, procs)
-            kind = msg[0]
+            for wid, reason in transport.dead_workers():
+                handle_death(wid, reason)
+            dispatch()
+            msg = transport.recv(par.poll_timeout)
+            if msg is None:
+                continue
+            kind, wid = msg[0], msg[1]
+            if wid in fenced:
+                # Fenced workers are gone as far as the ledger is
+                # concerned; anything that still trickles out of their
+                # channel belongs to a revoked lease.  Discarded, never
+                # double-counted.
+                continue
             if kind == MSG_START:
-                _, wid, pid = msg
-                queued -= 1
-                running[wid] = pid
+                pid = msg[2]
+                if not directed:
+                    queued -= 1
+                    assigned[wid] = pid
+                elif assigned.get(wid) != pid:
+                    continue  # stale start for a lease this worker lost
+                started.add(wid)
                 steal_dry.discard(wid)
                 dispatch()
+                self._fault_event("start", wid, transport)
             elif kind == MSG_DONE:
-                _, wid, pid, new_tests, new_cov, paths = msg
-                running.pop(wid, None)
+                _, wid, pid, new_tests, new_cov, paths, estats, sstats = msg
+                if leased and assigned.get(wid) != pid:
+                    continue  # revoked lease completing late — discard
                 part = outstanding.pop(pid, None)
+                assigned.pop(wid, None)
+                started.discard(wid)
                 steal_inflight.discard(wid)
                 steal_dry.discard(wid)
+                residuals.pop(pid, None)
                 pending -= 1
-                tests.extend(new_tests)
-                covered |= new_cov
-                streamed_paths += paths
-                partition_results.append(
-                    (pid, part.origin if part is not None else "?", paths, new_cov)
-                )
+                accept(pid, part.origin if part is not None else "?",
+                       new_tests, new_cov, paths)
+                record_delta(wid, estats, sstats)
+                dispatch()
+                self._fault_event("done", wid, transport)
             elif kind == MSG_STOLEN:
-                _, wid, stolen = msg
+                _, wid, stolen, retained, interim = msg
                 steal_inflight.discard(wid)
                 if stolen:
                     self.steals += 1
@@ -526,63 +766,115 @@ class Coordinator:
                     steal_dry.add(wid)
                 for blob, meta in stolen:
                     part = self._new_partition_from_blob(blob, f"steal:{wid}", meta)
-                    self._sched.push(part)
+                    sched.push(part)
                     pending += 1
+                if leased and retained is not None and wid in assigned:
+                    residuals[assigned[wid]] = (retained, interim)
                 dispatch()
+            elif kind == MSG_STATS:
+                # A worker only reports final stats at TASK_STOP; seeing
+                # one here means it is shutting down early.  Keep the
+                # ledger/payload anyway (queue backend uses them).
+                entries_by_wid[wid] = (f"worker-{wid}", msg[2], msg[3])
+                payloads_by_wid[wid] = msg[4]
             elif kind == MSG_ERROR:
-                raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
+                raise WorkerCrashError(
+                    f"parallel worker {wid} failed:\n{msg[2]}"
+                )
             # Rebalance: everything is dispatched, someone is idle, someone
             # is busy.  Victim choice routes through the scheduler: steal
             # from the worker running the best-scored partition — the
             # most novel, shallowest subtree, whose frontier is most worth
             # splitting across the idle workers.
-            if par.steal and pending > 0 and queued == 0 and not len(self._sched) and running:
-                idle = set(range(par.workers)) - set(running)
+            if (
+                par.steal and pending > 0 and not len(sched) and started
+                and (directed or queued == 0)
+            ):
+                if directed:
+                    idle = [w for w in alive_ids() if w not in assigned]
+                else:
+                    idle = [w for w in alive_ids() if w not in assigned.keys()]
                 eligible = {
-                    wid: outstanding.get(running[wid])
-                    for wid in running
-                    if wid not in steal_inflight and wid not in steal_dry
+                    w: outstanding.get(assigned[w])
+                    for w in started
+                    if w in assigned
+                    and w not in steal_inflight
+                    and w not in steal_dry
                 }
                 if idle and eligible:
-                    victim = self._sched.pick_victim(eligible)
-                    # Tag the request with the partition it targets, so the
-                    # worker can discard it if it arrives late.
-                    cmd_qs[victim].put((CMD_STEAL, running[victim]))
-                    steal_inflight.add(victim)
+                    victim = sched.pick_victim(eligible)
+                    # Tag the request with the partition it targets, so
+                    # the worker can discard it if it arrives late.
+                    try:
+                        transport.send_cmd(victim, (CMD_STEAL, assigned[victim]))
+                        steal_inflight.add(victim)
+                    except OSError:
+                        pass  # victim died; the death sweep handles it
 
-        # Drain: stop every worker and collect its final stats ledger
-        # (plus its buffered store inserts — the coordinator is the
-        # single store writer).
-        for _ in procs:
-            task_q.put((TASK_STOP,))
-        entries_by_wid: dict[int, LedgerEntry] = {}
-        payloads_by_wid: dict[int, dict | None] = {}
-        while len(entries_by_wid) < len(procs):
-            msg = self._next_message(result_q, procs)
-            if msg[0] == MSG_STATS:
-                _, wid, engine_stats, solver_stats, store_payload = msg
-                entries_by_wid[wid] = (f"worker-{wid}", engine_stats, solver_stats)
-                payloads_by_wid[wid] = store_payload
-            elif msg[0] == MSG_ERROR:
-                raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
-            # Late MSG_STOLEN (always empty by now) and MSG_START/DONE
-            # cannot occur here: pending hit zero, so every partition was
-            # finished and acknowledged before the stop was sent.
-        entries = [entries_by_wid[wid] for wid in sorted(entries_by_wid)]
-        payloads = [payloads_by_wid[wid] for wid in sorted(payloads_by_wid)]
-        return entries, tests, covered, streamed_paths, payloads, partition_results
-
-    def _next_message(self, result_q, procs):
-        while True:
+        # Drain: stop every surviving worker and collect its final stats
+        # message (which carries the buffered store inserts — the
+        # coordinator is the single store writer).
+        expected = list(alive_ids())
+        for wid in expected:
             try:
-                return result_q.get(timeout=self.parallel.poll_timeout)
-            except queue_mod.Empty:
-                dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
-                if dead:
-                    raise RuntimeError(
-                        f"parallel worker died (exitcode {dead[0].exitcode}) "
-                        "without reporting an error"
-                    ) from None
+                transport.send_task(wid if directed else None, (TASK_STOP,))
+            except OSError:
+                pass
+        deadline = time.monotonic() + par.join_timeout
+        while True:
+            missing = [
+                w for w in expected
+                if w not in payloads_by_wid and w not in fenced
+            ]
+            if not missing:
+                break
+            if time.monotonic() > deadline:
+                raise WorkerCrashError(
+                    f"workers {missing} never reported final stats"
+                )
+            msg = transport.recv(min(par.poll_timeout, 0.25))
+            if msg is None:
+                if leased:
+                    # A worker dying between its last partition and the
+                    # stop ack loses only its store buffer; its ledger
+                    # contribution is already in the accepted deltas.
+                    for wid, reason in transport.dead_workers():
+                        if wid not in fenced and wid not in payloads_by_wid:
+                            fenced[wid] = reason
+                            self.workers_lost += 1
+                            transport.fence(wid)
+                continue
+            kind, wid = msg[0], msg[1]
+            if wid in fenced:
+                continue
+            if kind == MSG_STATS:
+                entries_by_wid[wid] = (f"worker-{wid}", msg[2], msg[3])
+                payloads_by_wid[wid] = msg[4]
+            elif kind == MSG_ERROR:
+                raise WorkerCrashError(
+                    f"parallel worker {wid} failed:\n{msg[2]}"
+                )
+            # Late MSG_STOLEN/HEARTBEAT stragglers are legal and ignored:
+            # pending hit zero, so every partition was already accepted.
+
+        entries: list[LedgerEntry] = []
+        payloads: list = []
+        for wid in sorted(transport.worker_ids):
+            if leased:
+                # Lease accounting: a worker's ledger entry is the merge
+                # of its accepted per-partition deltas — work from
+                # revoked leases (and anything a fenced worker never got
+                # accepted) is excluded by construction.
+                wid_deltas = deltas.get(wid, [])
+                entries.append((
+                    f"worker-{wid}",
+                    EngineStats.merged(d[0] for d in wid_deltas),
+                    SolverStats.merged(d[1] for d in wid_deltas),
+                ))
+            else:
+                entries.append(entries_by_wid[wid])
+            payloads.append(payloads_by_wid.get(wid))
+        return entries, tests, covered, streamed_paths, payloads, partition_results
 
 
 def _worker_imbalance(worker_entries: list[LedgerEntry]) -> float:

@@ -3,19 +3,24 @@
 Each worker process owns a full :class:`~repro.engine.executor.Engine`
 (with its own :class:`~repro.solver.portfolio.IncrementalChain`, so
 blasting and clause learning amortize across every partition the worker
-explores) and loops over the shared task queue: restore a partition's
+explores) and loops over the task channel: restore a partition's
 snapshot, seed it, explore until the frontier drains.  A steal request on
-the out-of-band command queue interrupts exploration at the next
+the out-of-band command channel interrupts exploration at the next
 partition-boundary hook; the worker exports roughly half its frontier and
 resumes on the rest.
 
-Per-partition results (new tests, newly covered blocks, completed paths)
-stream back as they finish; the engine's full stats ledger is sent once,
-on shutdown, so the coordinator can merge exact per-worker counters.
+Per-partition results (new tests, newly covered blocks, completed paths,
+and a cumulative stats snapshot) stream back as they finish; the
+engine's full stats ledger is sent once more on shutdown together with
+its buffered store inserts.  The channels are queue-shaped ducks: real
+multiprocessing queues for the fork backend, socket-fed proxies for
+remote workers (:mod:`repro.remote.client`) — ``worker_main`` is the
+single entry point for both.
 """
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import queue
 import traceback
@@ -68,12 +73,41 @@ def _make_interrupt(cmd_q, pid: int):
     return check
 
 
+def _stats_copy(engine: Engine):
+    """Cumulative (EngineStats, SolverStats) snapshot at a quiescent point.
+
+    Copies, not references: multiprocessing queues pickle in a feeder
+    thread *after* ``put`` returns, so shipping the live objects would
+    race with the next partition's mutations.
+    """
+    engine._sync_solver_stats()
+    return copy.deepcopy(engine.stats), copy.deepcopy(engine.solver.stats)
+
+
+def _export_entries(states) -> list:
+    """Serialize frontier states with their scheduling metadata."""
+    return [(s.snapshot(), Partition.meta_of(s)) for s in states]
+
+
 def run_partition(
-    engine: Engine, state: SymState, cmd_q, result_q, worker_id: int, pid: int = -1
+    engine: Engine,
+    state: SymState,
+    cmd_q,
+    result_q,
+    worker_id: int,
+    pid: int = -1,
+    ship_residual: bool = False,
 ):
     """Explore one partition to exhaustion, honouring steal requests.
 
     Returns (new_tests, new_coverage, paths_delta) for the done message.
+
+    With ``ship_residual`` (lease-tracking transports), every steal reply
+    also checkpoints the *retained* frontier plus the partition's interim
+    results, so the coordinator can recover the exact remaining work if
+    this worker later dies: interim results stand in for the pre-steal
+    paths, the retained snapshots requeue the rest, and nothing is lost
+    or explored twice.
     """
     tests_before = len(engine.tests.cases)
     covered_before = set(engine.coverage.covered)
@@ -94,14 +128,19 @@ def run_partition(
             # exported state ships with its scheduling metadata — the
             # coordinator re-queues stolen work through the same priority
             # scheduler as split partitions, without decoding blobs.
-            exported = engine.export_frontier(len(engine.worklist) // 2)
-            result_q.put(
-                (
-                    MSG_STOLEN,
-                    worker_id,
-                    [(s.snapshot(), Partition.meta_of(s)) for s in exported],
-                )
+            stolen = _export_entries(
+                engine.export_frontier(len(engine.worklist) // 2)
             )
+            retained = interim = None
+            if ship_residual:
+                retained = _export_entries(engine.worklist)
+                interim = (
+                    list(engine.tests.cases[tests_before:]),
+                    engine.coverage.covered - covered_before,
+                    engine.stats.paths_completed - paths_before,
+                    *_stats_copy(engine),
+                )
+            result_q.put((MSG_STOLEN, worker_id, stolen, retained, interim))
     new_tests = list(engine.tests.cases[tests_before:])
     new_cov = engine.coverage.covered - covered_before
     return new_tests, new_cov, engine.stats.paths_completed - paths_before
@@ -115,8 +154,9 @@ def worker_main(
     task_q,
     result_q,
     cmd_q,
+    ship_residual: bool = False,
 ) -> None:
-    """Process entry point (also runnable inline for the 1-process backend)."""
+    """Worker entry point: fork processes and socket clients both land here."""
     try:
         module = get_program(program).compile()
         spec = ArgvSpec(**spec_payload)
@@ -147,15 +187,23 @@ def worker_main(
                 )
                 engine.close_store()
                 return
+            if msg[0] == CMD_STEAL:
+                # Stale steal request consumed while idle (its target
+                # partition already finished) — legal, ignored.
+                continue
             if msg[0] != TASK_PARTITION:
                 raise ValueError(f"unknown task {msg[0]!r}")
             pid, blob = msg[1], msg[2]
             result_q.put((MSG_START, worker_id, pid))
             state = SymState.from_snapshot(blob, engine._fresh_sid())
             new_tests, new_cov, paths = run_partition(
-                engine, state, cmd_q, result_q, worker_id, pid=pid
+                engine, state, cmd_q, result_q, worker_id, pid=pid,
+                ship_residual=ship_residual,
             )
-            result_q.put((MSG_DONE, worker_id, pid, new_tests, new_cov, paths))
+            result_q.put(
+                (MSG_DONE, worker_id, pid, new_tests, new_cov, paths,
+                 *_stats_copy(engine))
+            )
     except BaseException:  # noqa: BLE001 — ship the traceback, then die
         result_q.put((MSG_ERROR, worker_id, traceback.format_exc()))
         raise

@@ -1,0 +1,47 @@
+"""Remote exploration service: socket transports and fault tolerance.
+
+``repro.remote`` promotes the fork-only wire protocol of
+:mod:`repro.parallel` to a transport abstraction with two backends —
+the original multiprocessing queues (:class:`QueueTransport`) and a
+length-prefixed TCP socket transport (:class:`SocketTransport`) — so
+exploration workers can run on other hosts against the same coordinator
+event loop.  On top of the socket transport, the coordinator maintains
+a *lease* per dispatched partition (owner + heartbeat deadline); when a
+worker misses heartbeats, drops its connection, or is killed, the lease
+is revoked, the worker fenced, and the partition's snapshot requeued
+through the :class:`~repro.sched.PartitionScheduler` — partition
+disjointness and the stats-merge ledger survive worker death, and a
+revoked partition's partial results are discarded, never double-counted.
+
+Quick start (spawned loopback workers)::
+
+    from repro.parallel import ParallelConfig, run_parallel
+    result = run_parallel("wc", parallel=ParallelConfig(workers=2,
+                                                        backend="socket"))
+    result.check_ledger()
+
+Multi-host: run the coordinator with ``spawn_workers=False`` (it prints
+its listen address) and start each worker with::
+
+    python -m repro.remote worker --connect HOST:PORT
+"""
+
+from .client import WorkerSession, connect, remote_worker_main
+from .transport import (
+    QueueTransport,
+    SocketTransport,
+    TransportError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "QueueTransport",
+    "SocketTransport",
+    "TransportError",
+    "WorkerSession",
+    "connect",
+    "recv_frame",
+    "remote_worker_main",
+    "send_frame",
+]

@@ -1,0 +1,100 @@
+"""CLI for the remote exploration service.
+
+Usage::
+
+    # Join a campaign as a worker (run on any host with this repo):
+    python -m repro.remote worker --connect 192.0.2.10:45671
+
+    # Drive a campaign, listening for external workers:
+    python -m repro.remote campaign wc --workers 2 --listen 0.0.0.0:45671
+
+    # Drive a campaign with spawned loopback workers (smoke test):
+    python -m repro.remote campaign wc --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _host_port(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.remote",
+        description="Socket-transport exploration workers and campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    worker = sub.add_parser("worker", help="connect to a coordinator and serve")
+    worker.add_argument("--connect", type=_host_port, required=True,
+                        metavar="HOST:PORT",
+                        help="coordinator listen address")
+    worker.add_argument("--heartbeat", type=float, default=0.5, metavar="SECS",
+                        help="heartbeat interval (default 0.5)")
+    worker.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="connection retries while the coordinator comes up")
+
+    campaign = sub.add_parser("campaign",
+                              help="run one program over socket workers")
+    campaign.add_argument("program", help="corpus program name (e.g. wc)")
+    campaign.add_argument("--workers", type=int, default=2)
+    campaign.add_argument("--listen", type=_host_port, default=("127.0.0.1", 0),
+                          metavar="HOST:PORT",
+                          help="bind address (default 127.0.0.1, ephemeral)")
+    campaign.add_argument("--external", action="store_true",
+                          help="wait for external `repro.remote worker` "
+                               "connections instead of spawning local ones")
+    campaign.add_argument("--accept-timeout", type=float, default=300.0,
+                          metavar="SECS",
+                          help="how long to wait for workers to connect")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "worker":
+        from .client import remote_worker_main
+
+        host, port = args.connect
+        return remote_worker_main(host, port, heartbeat_interval=args.heartbeat,
+                                  retries=args.retries)
+
+    # campaign
+    from ..parallel import ParallelConfig, run_parallel
+
+    host, port = args.listen
+    if args.external and port == 0:
+        campaign.error("--external needs an explicit --listen HOST:PORT "
+                       "(workers must know where to connect)")
+    if args.external:
+        print(f"listening on {host}:{port}; start workers with: "
+              f"python -m repro.remote worker --connect {host}:{port}")
+    parallel = ParallelConfig(
+        workers=args.workers,
+        backend="socket",
+        socket_host=host,
+        socket_port=port,
+        spawn_workers=not args.external,
+        accept_timeout=args.accept_timeout,
+    )
+    result = run_parallel(args.program, parallel=parallel)
+    result.check_ledger()
+    print(
+        f"{args.program}: workers={args.workers} paths={result.paths} "
+        f"tests={len(result.tests.cases)} coverage={result.coverage_blocks} "
+        f"partitions={result.partitions} steals={result.steals} "
+        f"requeues={result.requeues} workers_lost={result.workers_lost} "
+        f"wall={result.wall_time:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

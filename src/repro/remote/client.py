@@ -1,0 +1,191 @@
+"""Worker-side socket client: connect, handshake, serve a campaign.
+
+:func:`remote_worker_main` is the whole lifecycle of one remote worker:
+dial the coordinator, HELLO/WELCOME handshake (version-checked), then
+hand queue-shaped channel proxies to the very same
+:func:`repro.parallel.worker.worker_main` loop the fork backend runs —
+the worker logic is transport-blind.
+
+The session runs two daemon threads next to the main loop:
+
+* a **reader** that demultiplexes inbound frames — ``TASK_*`` messages
+  feed the blocking task queue, ``CMD_*`` the non-blocking command
+  queue the steal hook polls mid-exploration;
+* a **heartbeat timer** that sends ``(MSG_HEARTBEAT, wid)`` every
+  interval so the coordinator's lease table can tell a slow worker from
+  a dead one.  Frame writes share one lock, so heartbeats never
+  interleave with result frames.
+
+If the coordinator closes the connection (lease revoked, campaign
+over), the reader injects a synthetic ``TASK_STOP`` so the main loop
+unblocks and the process exits instead of exploring into the void.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import sys
+import threading
+import time
+
+from ..parallel.wire import (
+    CMD_STEAL,
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_REJECT,
+    MSG_WELCOME,
+    TASK_PARTITION,
+    TASK_STOP,
+    WIRE_VERSION,
+    ProtocolMismatchError,
+    check_wire_version,
+)
+from .transport import handshake_error, recv_frame, send_frame
+
+
+class WorkerSession:
+    """One connected worker: channel proxies over a duplex socket.
+
+    ``task_q`` / ``cmd_q`` quack like the multiprocessing queues
+    ``worker_main`` expects; the session object itself is the result
+    channel (``put`` sends a frame).
+    """
+
+    def __init__(self, sock: socket.socket, heartbeat_interval: float = 0.5):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._closed = threading.Event()
+        self.task_q: queue.SimpleQueue = queue.SimpleQueue()
+        self.cmd_q: queue.SimpleQueue = queue.SimpleQueue()
+        meta = {"pid": os.getpid(), "host": socket.gethostname()}
+        send_frame(sock, (MSG_HELLO, WIRE_VERSION, meta), self._send_lock)
+        reply = recv_frame(sock)
+        if reply[0] == MSG_REJECT:
+            raise handshake_error(reply)
+        if reply[0] != MSG_WELCOME:
+            raise ProtocolMismatchError(f"expected WELCOME, got {reply[0]!r}")
+        _, self.wid, version, self.program, self.spec_payload, \
+            self.config_payload = reply
+        check_wire_version(version, "WELCOME handshake")
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+        self._beat = threading.Thread(
+            target=self._heartbeat_loop, args=(heartbeat_interval,), daemon=True
+        )
+        self._beat.start()
+
+    # -- result channel (worker -> coordinator) ---------------------------------
+
+    def put(self, msg) -> None:
+        if self._closed.is_set():
+            # Coordinator hung up (fence / campaign end): results of a
+            # revoked lease are discarded by design, so drop silently and
+            # let the main loop run down via the synthetic TASK_STOP.
+            return
+        try:
+            send_frame(self._sock, msg, self._send_lock)
+        except OSError:
+            self._hangup()
+            raise
+
+    # -- inbound demux -----------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                msg = recv_frame(self._sock)
+            except Exception:
+                self._hangup()
+                return
+            tag = msg[0]
+            if tag in (TASK_PARTITION, TASK_STOP):
+                self.task_q.put(msg)
+                if tag == TASK_STOP:
+                    return
+            elif tag == CMD_STEAL:
+                self.cmd_q.put(msg)
+            # Unknown tags from a newer coordinator: ignored, the
+            # handshake already pinned the version.
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._closed.wait(interval):
+            try:
+                send_frame(self._sock, (MSG_HEARTBEAT, self.wid),
+                           self._send_lock)
+            except OSError:
+                self._hangup()
+                return
+
+    def _hangup(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            # Unblock the main loop if it is waiting for the next task.
+            self.task_q.put((TASK_STOP,))
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def connect(host: str, port: int, heartbeat_interval: float = 0.5,
+            retries: int = 0, retry_delay: float = 0.2) -> WorkerSession:
+    """Dial a coordinator, retrying while its listener comes up."""
+    attempt = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(None)
+            return WorkerSession(sock, heartbeat_interval)
+        except ConnectionError:
+            attempt += 1
+            if attempt > retries:
+                raise
+            time.sleep(retry_delay)
+
+
+def remote_worker_main(host: str, port: int, heartbeat_interval: float = 0.5,
+                       retries: int = 0, retry_delay: float = 0.2) -> int:
+    """Serve one campaign as a remote worker; returns a process exit code."""
+    from ..parallel.worker import worker_main
+
+    try:
+        session = connect(host, port, heartbeat_interval, retries, retry_delay)
+    except ProtocolMismatchError as exc:
+        print(f"repro.remote worker: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro.remote worker: cannot reach {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        worker_main(
+            session.wid,
+            session.program,
+            session.spec_payload,
+            session.config_payload,
+            session.task_q,
+            session,  # result channel
+            session.cmd_q,
+            ship_residual=True,
+        )
+        return 0
+    except OSError:
+        # Connection lost mid-campaign: the lease layer already treats us
+        # as dead and requeued our partition; nothing left to report.
+        print("repro.remote worker: connection to coordinator lost",
+              file=sys.stderr)
+        return 1
+    finally:
+        session.close()
+
+
+def _spawned_worker(host: str, port: int, heartbeat_interval: float) -> None:
+    """Entry point for coordinator-spawned loopback workers."""
+    raise SystemExit(
+        remote_worker_main(host, port, heartbeat_interval, retries=25)
+    )

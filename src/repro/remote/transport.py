@@ -1,0 +1,487 @@
+"""Coordinator-side transports over the tagged-tuple wire protocol.
+
+One campaign event loop (:meth:`repro.parallel.Coordinator._run_transport`)
+drives workers through two interchangeable backends:
+
+* :class:`QueueTransport` — the original fork-based process pool over
+  multiprocessing queues: a shared task queue any idle worker pulls
+  from, a shared result queue, and per-worker out-of-band command
+  queues.  Liveness is the process sentinel (``Process.is_alive``);
+  there is no lease layer — a worker death is detected promptly and
+  surfaced as a named :class:`~repro.parallel.WorkerCrashError`.
+* :class:`SocketTransport` — length-prefixed TCP (4-byte big-endian
+  size + pickle) so workers can run on other hosts against the same
+  coordinator loop.  Each worker holds one duplex connection carrying
+  tasks, commands, results, and heartbeats; the transport assigns
+  worker ids at HELLO/WELCOME handshake time and tracks per-connection
+  liveness (EOF or missed heartbeats).  This backend supports the lease
+  layer: dispatched partitions can be revoked from dead workers and
+  requeued.
+
+Both expose the same duck type: ``start()``, ``send_task(wid, msg)``
+(``wid`` ignored by the shared-queue backend), ``send_cmd(wid, msg)``,
+``recv(timeout)``, ``dead_workers()`` (newly-observed deaths since the
+last call), ``fence(wid)``, and ``close()``; plus the chaos hooks
+``kill(wid)`` / ``disconnect(wid)`` the fault-injection harness uses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import signal
+import socket
+import struct
+import threading
+import time
+
+from ..parallel.wire import (
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_REJECT,
+    MSG_WELCOME,
+    TASK_STOP,
+    WIRE_VERSION,
+    ProtocolMismatchError,
+)
+
+_HEADER = struct.Struct(">I")
+# Frames above this are protocol corruption, not data (a partition
+# snapshot is kilobytes; a full stats ledger far less).
+MAX_FRAME = 1 << 30
+
+# Handshake must complete promptly once a connection lands — a client
+# that connects and stalls must not block the accept loop forever.
+HANDSHAKE_TIMEOUT = 10.0
+
+
+class TransportError(RuntimeError):
+    """Transport-level failure (startup timeout, oversized frame, ...)."""
+
+
+def _mp_context():
+    return multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+
+
+# -- framing --------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, msg, lock: threading.Lock | None = None) -> None:
+    """Pickle ``msg`` and write it as one length-prefixed frame.
+
+    The lock (one per connection) keeps concurrently sending threads —
+    the worker's main loop and its heartbeat timer — from interleaving
+    frame bytes.
+    """
+    payload = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise TransportError(f"frame too large: {len(payload)} bytes")
+    data = _HEADER.pack(len(payload)) + payload
+    if lock is not None:
+        with lock:
+            sock.sendall(data)
+    else:
+        sock.sendall(data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket):
+    """Read one length-prefixed frame; raises EOFError on a closed peer."""
+    (size,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if size > MAX_FRAME:
+        raise TransportError(f"oversized frame header: {size} bytes")
+    return pickle.loads(_recv_exact(sock, size))
+
+
+# -- queue (fork) backend --------------------------------------------------------
+
+
+class QueueTransport:
+    """The original multiprocessing backend behind the transport duck type.
+
+    A shared task queue preserves PR 2's load-balancing semantics (any
+    idle worker pulls the next primed task), so fork-backend dispatch
+    behavior is byte-for-byte what it was before transports existed.
+    """
+
+    leased = False
+    directed = False
+
+    def __init__(self, workers: int, program: str, spec_payload: dict,
+                 config_payload: dict, join_timeout: float = 10.0):
+        self.workers = workers
+        self.program = program
+        self.spec_payload = spec_payload
+        self.config_payload = config_payload
+        self.join_timeout = join_timeout
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._cmd_qs: list = []
+        self._reported: set[int] = set()
+        self._closed = False
+
+    @property
+    def worker_ids(self) -> list[int]:
+        return list(range(self.workers))
+
+    def start(self) -> None:
+        from ..parallel.worker import worker_main
+
+        ctx = _mp_context()
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._cmd_qs = [ctx.Queue() for _ in range(self.workers)]
+        self._procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(wid, self.program, self.spec_payload, self.config_payload,
+                      self._task_q, self._result_q, self._cmd_qs[wid]),
+                daemon=True,
+            )
+            for wid in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def send_task(self, wid: int | None, msg) -> None:
+        # Shared queue: the task goes to whichever worker pulls next.
+        self._task_q.put(msg)
+
+    def send_cmd(self, wid: int, msg) -> None:
+        self._cmd_qs[wid].put(msg)
+
+    def recv(self, timeout: float):
+        try:
+            return self._result_q.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+
+    def dead_workers(self) -> list[tuple[int, str]]:
+        dead = []
+        for wid, proc in enumerate(self._procs):
+            if wid in self._reported or proc.is_alive():
+                continue
+            self._reported.add(wid)
+            dead.append((wid, f"exitcode {proc.exitcode}"))
+        return dead
+
+    def exitcode(self, wid: int):
+        return self._procs[wid].exitcode
+
+    def fence(self, wid: int) -> None:
+        proc = self._procs[wid]
+        if proc.is_alive():
+            proc.terminate()
+        self._reported.add(wid)
+
+    def kill(self, wid: int) -> None:
+        """Chaos hook: SIGKILL the worker process (no cleanup, no error)."""
+        self._procs[wid].kill()
+
+    def os_pid(self, wid: int):
+        return self._procs[wid].pid
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=self.join_timeout)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        # The fd-leak fix: multiprocessing queues keep a feeder thread and
+        # pipe fds alive until explicitly closed, so repeated campaigns in
+        # one process used to accumulate fds.
+        for q in (self._task_q, self._result_q, *self._cmd_qs):
+            if q is not None:
+                q.close()
+                q.join_thread()
+        for proc in self._procs:
+            proc.close()
+
+
+# -- socket backend --------------------------------------------------------------
+
+
+class _Endpoint:
+    """Coordinator-side state of one connected worker."""
+
+    __slots__ = ("wid", "conn", "lock", "last_seen", "dead", "fenced", "meta",
+                 "thread")
+
+    def __init__(self, wid: int, conn: socket.socket, meta: dict):
+        self.wid = wid
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.last_seen = time.monotonic()
+        self.dead: str | None = None
+        self.fenced = False
+        self.meta = meta
+        self.thread: threading.Thread | None = None
+
+
+class SocketTransport:
+    """Length-prefixed TCP transport with heartbeat liveness tracking.
+
+    ``spawn_workers=True`` (the default, and what tests/CI use) forks
+    local processes that connect back over loopback — same protocol,
+    same failure modes as genuinely remote workers, plus an os-level
+    ``kill`` hook for fault injection.  With ``spawn_workers=False`` the
+    transport only listens: point ``python -m repro.remote worker
+    --connect host:port`` at it from any machine running the same repro
+    version.
+    """
+
+    leased = True
+    directed = True
+
+    def __init__(
+        self,
+        workers: int,
+        program: str,
+        spec_payload: dict,
+        config_payload: dict,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_workers: bool = True,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 5.0,
+        accept_timeout: float = 30.0,
+        join_timeout: float = 10.0,
+    ):
+        self.workers = workers
+        self.program = program
+        self.spec_payload = spec_payload
+        self.config_payload = config_payload
+        self.host = host
+        self.port = port
+        self.spawn_workers = spawn_workers
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.accept_timeout = accept_timeout
+        self.join_timeout = join_timeout
+        self._server: socket.socket | None = None
+        self._procs: list = []
+        self._endpoints: list[_Endpoint] = []
+        self._inbox: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+        self._reported: set[int] = set()
+        self._closed = False
+        self.address: tuple[str, int] | None = None
+
+    @property
+    def worker_ids(self) -> list[int]:
+        return [ep.wid for ep in self._endpoints]
+
+    def start(self) -> None:
+        self._server = socket.create_server((self.host, self.port))
+        self.address = self._server.getsockname()[:2]
+        if self.spawn_workers:
+            from ..remote.client import _spawned_worker
+
+            ctx = _mp_context()
+            self._procs = [
+                ctx.Process(
+                    target=_spawned_worker,
+                    args=(self.address[0], self.address[1],
+                          self.heartbeat_interval),
+                    daemon=True,
+                )
+                for _ in range(self.workers)
+            ]
+            for proc in self._procs:
+                proc.start()
+        deadline = time.monotonic() + self.accept_timeout
+        while len(self._endpoints) < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise TransportError(
+                    f"timed out waiting for {self.workers} workers "
+                    f"({len(self._endpoints)} connected) on {self.address}"
+                )
+            self._server.settimeout(remaining)
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            self._handshake(conn)
+        self._server.settimeout(None)
+        for ep in self._endpoints:
+            ep.thread = threading.Thread(
+                target=self._reader, args=(ep,), daemon=True
+            )
+            ep.thread.start()
+
+    def _handshake(self, conn: socket.socket) -> None:
+        conn.settimeout(HANDSHAKE_TIMEOUT)
+        try:
+            hello = recv_frame(conn)
+        except (EOFError, OSError, socket.timeout):
+            conn.close()
+            return
+        if not (isinstance(hello, tuple) and hello and hello[0] == MSG_HELLO):
+            send_frame(conn, (MSG_REJECT, "expected HELLO"))
+            conn.close()
+            return
+        version = hello[1] if len(hello) > 1 else 1
+        if version != WIRE_VERSION:
+            # The worker raises ProtocolMismatchError on its side too;
+            # rejecting (instead of hanging) is what makes version skew a
+            # deployment error rather than a stuck campaign.
+            send_frame(
+                conn,
+                (MSG_REJECT,
+                 f"wire protocol mismatch: worker {version!r}, "
+                 f"coordinator {WIRE_VERSION}"),
+            )
+            conn.close()
+            return
+        meta = hello[2] if len(hello) > 2 else {}
+        wid = len(self._endpoints)
+        send_frame(
+            conn,
+            (MSG_WELCOME, wid, WIRE_VERSION, self.program,
+             self.spec_payload, self.config_payload),
+        )
+        conn.settimeout(None)
+        self._endpoints.append(_Endpoint(wid, conn, dict(meta or {})))
+
+    def _reader(self, ep: _Endpoint) -> None:
+        while True:
+            try:
+                msg = recv_frame(ep.conn)
+            except (EOFError, OSError, TransportError):
+                if ep.dead is None:
+                    ep.dead = "disconnect"
+                return
+            except Exception:  # unpicklable garbage = dead peer
+                if ep.dead is None:
+                    ep.dead = "protocol corruption"
+                return
+            ep.last_seen = time.monotonic()
+            if isinstance(msg, tuple) and msg and msg[0] == MSG_HEARTBEAT:
+                continue
+            self._inbox.put(msg)
+
+    def _send(self, wid: int, msg) -> None:
+        ep = self._endpoints[wid]
+        if ep.fenced or ep.dead is not None:
+            raise OSError(f"worker {wid} is gone")
+        send_frame(ep.conn, msg, ep.lock)
+
+    def send_task(self, wid: int, msg) -> None:
+        if wid is None:
+            raise TransportError("socket transport requires directed sends")
+        self._send(wid, msg)
+
+    def send_cmd(self, wid: int, msg) -> None:
+        self._send(wid, msg)
+
+    def recv(self, timeout: float):
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+
+    def dead_workers(self) -> list[tuple[int, str]]:
+        now = time.monotonic()
+        dead = []
+        for ep in self._endpoints:
+            if ep.wid in self._reported or ep.fenced:
+                continue
+            if ep.dead is None and now - ep.last_seen > self.heartbeat_timeout:
+                ep.dead = (
+                    f"missed heartbeats for {now - ep.last_seen:.1f}s "
+                    f"(limit {self.heartbeat_timeout}s)"
+                )
+            if ep.dead is not None:
+                self._reported.add(ep.wid)
+                dead.append((ep.wid, ep.dead))
+        return dead
+
+    def fence(self, wid: int) -> None:
+        """Stop all interaction with a worker: close its connection.
+
+        A fenced worker that is actually still alive loses its link and
+        exits on its next send; anything it manages to deliver first is
+        discarded by the event loop.  That one-way door is what makes
+        lease revocation safe — a revoked partition's owner can never
+        sneak results back in.
+        """
+        ep = self._endpoints[wid]
+        ep.fenced = True
+        self._reported.add(wid)
+        try:
+            ep.conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        ep.conn.close()
+
+    def kill(self, wid: int) -> None:
+        """Chaos hook: SIGKILL a *local* worker process (no warning)."""
+        ospid = self._endpoints[wid].meta.get("pid")
+        if not ospid:
+            raise TransportError(f"worker {wid} sent no os pid; cannot kill")
+        os.kill(ospid, signal.SIGKILL)
+
+    def disconnect(self, wid: int) -> None:
+        """Chaos hook: drop the connection without touching the process —
+        simulates a network partition; the abandoned worker exits when
+        its next send fails."""
+        ep = self._endpoints[wid]
+        try:
+            ep.conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    def stop_worker(self, wid: int) -> None:
+        try:
+            self._send(wid, (TASK_STOP,))
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+        for ep in self._endpoints:
+            try:
+                ep.conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=self.join_timeout)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        for proc in self._procs:
+            proc.close()
+
+
+def handshake_error(reject_msg) -> ProtocolMismatchError:
+    """Worker-side: turn a MSG_REJECT into the named error."""
+    reason = reject_msg[1] if len(reject_msg) > 1 else "rejected"
+    return ProtocolMismatchError(f"coordinator rejected handshake: {reason}")

@@ -1,0 +1,388 @@
+"""Fault-tolerance tests: crash recovery, fencing, and fail-fast.
+
+Two layers of coverage:
+
+* **Integration/chaos** — real socket campaigns with a worker SIGKILLed
+  or disconnected mid-run via the coordinator's ``fault_injector`` hook.
+  The recovered run must emit the identical plain-mode test multiset and
+  coverage as an undisturbed 1-worker run, with ``check_ledger()``
+  holding (revoked partial results discarded, never double-counted).
+* **Scripted transports** — deterministic fakes driving
+  ``Coordinator._run_transport`` directly, pinning the lease-layer edge
+  cases: a steal victim dying with the request in flight (the old code
+  would wait on the reply forever), a poison partition that kills every
+  owner, and the whole fleet dying.
+
+Plus the queue-backend regressions: a SIGKILLed fork worker surfaces as
+a prompt named :class:`WorkerCrashError` instead of a hang (the old
+dead-scan only fired once the result queue was empty *and* only on a
+nonzero exitcode), and pool teardown releases its queue/process fds.
+"""
+
+import os
+import random
+from collections import Counter, deque
+
+import pytest
+
+from repro.engine.executor import EngineConfig
+from repro.engine.stats import EngineStats
+from repro.env.argv import ArgvSpec
+from repro.parallel import (
+    Coordinator,
+    ParallelConfig,
+    Partition,
+    WorkerCrashError,
+    run_parallel,
+)
+from repro.parallel.wire import (
+    CMD_STEAL,
+    MSG_DONE,
+    MSG_START,
+    MSG_STATS,
+    TASK_PARTITION,
+    TASK_STOP,
+)
+from repro.programs.registry import get_program
+from repro.sched import PartitionScheduler
+from repro.solver.portfolio import SolverStats
+
+
+def case_key(case):
+    return (case.kind, case.argv, case.model, case.line, case.multiplicity,
+            case.stdin)
+
+
+def suite_multiset(result):
+    return Counter(case_key(c) for c in result.tests.cases)
+
+
+@pytest.fixture(scope="module")
+def wc_sequential():
+    return run_parallel("wc", workers=1)
+
+
+def make_coordinator(workers=2, backend="socket", **kw):
+    info = get_program("wc")
+    spec = ArgvSpec(n_args=info.default_n, arg_len=info.default_l,
+                    stdin_len=info.default_stdin)
+    return Coordinator(
+        "wc", spec, EngineConfig(),
+        ParallelConfig(workers=workers, backend=backend, **kw),
+    )
+
+
+# -- integration: real socket campaigns with injected faults ---------------------
+
+
+def assert_recovered(result, baseline):
+    result.check_ledger()
+    assert result.paths == baseline.paths
+    assert suite_multiset(result) == suite_multiset(baseline)
+    assert result.covered == baseline.covered
+
+
+def test_socket_worker_sigkill_recovers(wc_sequential):
+    """SIGKILL a worker right after it starts its first partition: the
+    lease is revoked, the partition requeued, and the surviving worker
+    finishes the identical campaign."""
+    coord = make_coordinator(heartbeat_timeout=3.0)
+    killed = []
+
+    def chaos(event, wid, transport):
+        if event == "start" and not killed:
+            killed.append(wid)
+            transport.kill(wid)
+
+    coord.fault_injector = chaos
+    result = coord.run()
+    assert killed, "fault injector never fired"
+    assert result.workers_lost == 1
+    assert result.requeues >= 1
+    assert_recovered(result, wc_sequential)
+
+
+def test_socket_worker_disconnect_recovers(wc_sequential):
+    """Drop a worker's connection (simulated network partition) without
+    touching its process: same recovery path, and the abandoned worker's
+    late results are discarded at the fence, never double-counted."""
+    coord = make_coordinator(heartbeat_timeout=3.0)
+    dropped = []
+
+    def chaos(event, wid, transport):
+        if event == "start" and not dropped:
+            dropped.append(wid)
+            transport.disconnect(wid)
+
+    coord.fault_injector = chaos
+    result = coord.run()
+    assert dropped
+    assert result.workers_lost == 1
+    assert_recovered(result, wc_sequential)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_chaos_random_fault_point(seed, wc_sequential):
+    """The chaos harness: fault one worker at a pseudo-random protocol
+    event (kill or disconnect, start or done, random event index).  The
+    recovered campaign must be indistinguishable from an undisturbed
+    run — identical test multiset, identical coverage, ledger intact."""
+    rng = random.Random(seed)
+    fault_at = rng.randrange(0, 6)
+    method = rng.choice(["kill", "disconnect"])
+    coord = make_coordinator(heartbeat_timeout=3.0)
+    events = []
+    faulted = []
+
+    def chaos(event, wid, transport):
+        events.append((event, wid))
+        if len(events) - 1 == fault_at and not faulted:
+            faulted.append((method, event, wid))
+            getattr(transport, method)(wid)
+
+    coord.fault_injector = chaos
+    result = coord.run()
+    # Small campaigns can finish before a late fault point arrives — the
+    # run must be correct either way, but only claim recovery coverage
+    # when the fault actually fired.
+    if faulted:
+        assert result.workers_lost == 1
+    assert_recovered(result, wc_sequential)
+
+
+# -- queue (fork) backend: prompt, named fail-fast -------------------------------
+
+
+def test_fork_worker_sigkill_fails_fast():
+    """Satellite regression: a SIGKILLed fork worker used to hang the
+    event loop (the dead-scan only ran when the result queue drained and
+    ignored the exit status until then).  Now it raises a named error,
+    promptly, identifying the worker and its in-flight partition."""
+    coord = make_coordinator(backend="process")
+    killed = []
+
+    def chaos(event, wid, transport):
+        if event == "start" and not killed:
+            killed.append(wid)
+            transport.kill(wid)
+
+    coord.fault_injector = chaos
+    with pytest.raises(WorkerCrashError, match=r"worker \d+ died"):
+        coord.run()
+    assert killed
+
+
+def test_fork_worker_silent_death_fails_fast():
+    """A worker that exits without an MSG_ERROR (terminate here stands in
+    for any silent death — the nastiest variant of the old hang, which
+    only checked exit status once the result queue drained) is detected
+    and named while work is still outstanding."""
+    coord = make_coordinator(backend="process")
+
+    def chaos(event, wid, transport):
+        # The multiprocessing terminate path exits without MSG_ERROR.
+        if event == "start" and not chaos.fired:
+            chaos.fired = True
+            transport._procs[wid].terminate()
+
+    chaos.fired = False
+    coord.fault_injector = chaos
+    with pytest.raises(WorkerCrashError, match="without reporting an error"):
+        coord.run()
+    assert chaos.fired
+
+
+# -- scripted transports: deterministic lease-layer edge cases -------------------
+
+
+def _zero_stats():
+    return EngineStats(states_created=0), SolverStats()
+
+
+def _blob_partition(coord, tag):
+    return Partition.from_blob(
+        coord._alloc_pid(), tag, "split",
+        {"prefix_len": 1, "func": "main", "block": "entry", "depth": 1},
+    )
+
+
+class ScriptedTransport:
+    """A leased, directed transport whose workers are script fragments."""
+
+    leased = True
+    directed = True
+
+    def __init__(self, workers):
+        self.worker_ids = list(range(workers))
+        self.out = deque()
+        self.deaths = deque()
+        self.fenced = set()
+        self.steals_sent = []
+        self.recv_calls = 0
+
+    def start(self):
+        pass
+
+    def send_cmd(self, wid, msg):
+        self.steals_sent.append((wid, msg))
+
+    def recv(self, timeout):
+        self.recv_calls += 1
+        # A scripted run exchanges tens of messages; thousands means the
+        # event loop is spinning on a lease it will never resolve — the
+        # exact hang these tests exist to prevent.  Fail, don't freeze.
+        assert self.recv_calls < 5000, "event loop is spinning (lease leak?)"
+        return self.out.popleft() if self.out else None
+
+    def dead_workers(self):
+        dead = list(self.deaths)
+        self.deaths.clear()
+        return dead
+
+    def fence(self, wid):
+        self.fenced.add(wid)
+
+    def close(self):
+        pass
+
+    # script helpers
+    def worker_finishes(self, wid, pid, paths=1):
+        self.out.append((MSG_DONE, wid, pid, [], set(), paths, *_zero_stats()))
+
+    def worker_reports_stats(self, wid):
+        self.out.append((MSG_STATS, wid, *_zero_stats(), None))
+
+
+def _scripted_coordinator(workers, **kw):
+    coord = make_coordinator(
+        workers=workers, poll_timeout=0.01, join_timeout=5.0, **kw
+    )
+    coord._sched = PartitionScheduler(set(), qt_table=lambda: {}, policy="fifo")
+    return coord
+
+
+def test_steal_victim_death_releases_bookkeeping():
+    """A CMD_STEAL sent to a worker that dies before replying must not
+    leave the coordinator waiting on the reply forever: fencing clears
+    the in-flight steal and the victim's lease is requeued."""
+
+    class T(ScriptedTransport):
+        def send_task(self, wid, msg):
+            if msg[0] == TASK_PARTITION:
+                pid = msg[1]
+                self.out.append((MSG_START, wid, pid))
+                if wid == 1:  # worker 1 is fast; worker 0 never finishes
+                    self.worker_finishes(wid, pid)
+            elif msg[0] == TASK_STOP:
+                self.worker_reports_stats(wid)
+
+        def send_cmd(self, wid, msg):
+            super().send_cmd(wid, msg)
+            # The victim dies with the steal request in flight.
+            self.deaths.append((wid, "SIGKILL during steal"))
+
+    coord = _scripted_coordinator(workers=2)
+    transport = T(2)
+    parts = [_blob_partition(coord, b"p0"), _blob_partition(coord, b"p1")]
+    entries, tests, covered, streamed, payloads, results = (
+        coord._run_transport(parts, transport)
+    )
+    assert transport.steals_sent and transport.steals_sent[0][1][0] == CMD_STEAL
+    assert transport.fenced == {0}
+    assert coord.workers_lost == 1
+    assert coord.requeues == 1
+    assert streamed == 2  # both partitions completed, one after requeue
+    assert {origin for _, origin, _, _ in results} == {"split", "requeue:0"}
+    assert len(entries) == 2  # a fenced worker still gets a ledger row
+    dead_entry = entries[0]
+    assert dead_entry[1].paths_completed == 0  # ...with nothing accepted
+
+
+def test_poison_partition_gives_up_by_name():
+    """A partition that kills every owner must stop being requeued after
+    max_partition_requeues revocations and fail the run by name."""
+
+    class T(ScriptedTransport):
+        def send_task(self, wid, msg):
+            if msg[0] == TASK_PARTITION:
+                self.out.append((MSG_START, wid, msg[1]))
+                self.deaths.append((wid, "segfault"))
+
+    coord = _scripted_coordinator(workers=5, max_partition_requeues=3)
+    transport = T(5)
+    parts = [_blob_partition(coord, b"poison")]
+    with pytest.raises(WorkerCrashError, match="revoked 4 times"):
+        coord._run_transport(parts, transport)
+    assert coord.requeues == 3
+
+
+def test_whole_fleet_death_raises():
+    class T(ScriptedTransport):
+        def send_task(self, wid, msg):
+            if msg[0] == TASK_PARTITION:
+                self.out.append((MSG_START, wid, msg[1]))
+                self.deaths.append((wid, "power loss"))
+
+    coord = _scripted_coordinator(workers=2)
+    transport = T(2)
+    parts = [_blob_partition(coord, b"p0"), _blob_partition(coord, b"p1")]
+    with pytest.raises(WorkerCrashError, match="all 2 workers lost"):
+        coord._run_transport(parts, transport)
+
+
+def test_fenced_worker_messages_are_discarded():
+    """Results delivered by a worker after its lease was revoked must be
+    dropped: the requeued copy is the only accepted execution, so paths
+    are never double-counted."""
+
+    class T(ScriptedTransport):
+        def send_task(self, wid, msg):
+            if msg[0] == TASK_PARTITION:
+                pid = msg[1]
+                self.out.append((MSG_START, wid, pid))
+                if wid == 0 and not self.zombie_done:
+                    # Worker 0 is declared dead (missed heartbeats)...
+                    self.deaths.append((0, "missed heartbeats"))
+                    # ...but its DONE was already in flight: it arrives
+                    # *after* the death sweep fences the worker.
+                    self.zombie_done = True
+                    self.worker_finishes(0, pid, paths=7)
+                else:
+                    self.worker_finishes(wid, pid)
+            elif msg[0] == TASK_STOP:
+                self.worker_reports_stats(wid)
+
+        zombie_done = False
+
+    coord = _scripted_coordinator(workers=2)
+    transport = T(2)
+    parts = [_blob_partition(coord, b"p0"), _blob_partition(coord, b"p1")]
+    entries, tests, covered, streamed, payloads, results = (
+        coord._run_transport(parts, transport)
+    )
+    # The zombie's 7-path report was discarded; its partition re-ran on a
+    # healthy worker and contributed exactly once.
+    assert coord.requeues == 1
+    assert streamed == 2
+    assert sum(paths for _, _, paths, _ in results) == 2
+
+
+# -- pool teardown fd hygiene ----------------------------------------------------
+
+
+def _open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+@pytest.mark.skipif(not os.path.isdir("/proc/self/fd"),
+                    reason="needs procfs fd listing")
+def test_repeated_process_campaigns_do_not_leak_fds():
+    """Satellite regression: multiprocessing queues keep feeder pipes
+    alive until close()/join_thread(), so back-to-back campaigns in one
+    process used to accumulate fds until exhaustion."""
+    run_parallel("wc", workers=2)  # warm-up: imports, context, trackers
+    before = _open_fds()
+    for _ in range(2):
+        run_parallel("wc", workers=2)
+    after = _open_fds()
+    assert after <= before + 1, f"fd leak: {before} -> {after}"

@@ -1,0 +1,257 @@
+"""Tests of the repro.remote transport layer.
+
+Covers the framing codec, the versioned config codec (the old bare
+``TypeError`` on version skew is now a named
+:class:`ProtocolMismatchError`), the HELLO/WELCOME handshake including
+rejection of stale workers, and the end-to-end property that matters: a
+socket-transport N-worker campaign emits the identical plain-mode test
+multiset and coverage as the sequential run, with the stats ledger
+intact.
+"""
+
+import socket
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.engine.executor import EngineConfig
+from repro.parallel import ParallelConfig, run_parallel
+from repro.parallel.wire import (
+    MSG_HELLO,
+    MSG_REJECT,
+    MSG_WELCOME,
+    WIRE_VERSION,
+    ProtocolMismatchError,
+    decode_config,
+    encode_config,
+)
+from repro.remote import (
+    SocketTransport,
+    TransportError,
+    connect,
+    recv_frame,
+    send_frame,
+)
+from repro.remote.transport import _HEADER, MAX_FRAME, handshake_error
+
+
+def case_key(case):
+    return (case.kind, case.argv, case.model, case.line, case.multiplicity,
+            case.stdin)
+
+
+def suite_multiset(result):
+    return Counter(case_key(c) for c in result.tests.cases)
+
+
+# -- framing --------------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    a, b = socket.socketpair()
+    try:
+        msgs = [
+            ("tag", 1, {"k": b"v"}),
+            ("blob", b"\x00" * 70_000),  # bigger than one recv() chunk
+            ("empty",),
+        ]
+        lock = threading.Lock()
+        for msg in msgs:
+            send_frame(a, msg, lock)
+        for msg in msgs:
+            assert recv_frame(b) == msg
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_frame_raises_eof_on_closed_peer():
+    a, b = socket.socketpair()
+    a.close()
+    try:
+        with pytest.raises(EOFError):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_recv_frame_rejects_oversized_header():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(_HEADER.pack(MAX_FRAME + 1))
+        with pytest.raises(TransportError):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_concurrent_senders_do_not_interleave_frames():
+    """The per-connection send lock: many threads blasting frames through
+    one socket must never corrupt the stream (the worker's heartbeat
+    thread shares its socket with the result channel)."""
+    a, b = socket.socketpair()
+    lock = threading.Lock()
+    per_thread = 50
+    threads = [
+        threading.Thread(
+            target=lambda t=t: [
+                send_frame(a, ("m", t, i, b"x" * 1000), lock)
+                for i in range(per_thread)
+            ]
+        )
+        for t in range(4)
+    ]
+    try:
+        for th in threads:
+            th.start()
+        got = [recv_frame(b) for _ in range(4 * per_thread)]
+        for th in threads:
+            th.join()
+        # Every frame intact, every (thread, seq) pair delivered once.
+        assert Counter((m[1], m[2]) for m in got) == Counter(
+            (t, i) for t in range(4) for i in range(per_thread)
+        )
+        assert all(m[3] == b"x" * 1000 for m in got)
+    finally:
+        a.close()
+        b.close()
+
+
+# -- config codec versioning -----------------------------------------------------
+
+
+def test_config_codec_roundtrip_is_stamped():
+    payload = encode_config(EngineConfig(merging="static", dsm_delta=3))
+    assert payload["wire_version"] == WIRE_VERSION
+    decoded = decode_config(payload)
+    assert decoded.merging == "static"
+    assert decoded.dsm_delta == 3
+
+
+def test_decode_config_rejects_stale_stamp():
+    payload = encode_config(EngineConfig())
+    payload["wire_version"] = 1
+    with pytest.raises(ProtocolMismatchError, match="wire protocol mismatch"):
+        decode_config(payload)
+
+
+def test_decode_config_rejects_unstamped_legacy_payload():
+    # A v1 (PR 2 era) payload carries no stamp at all; it must fail by
+    # name, not with whatever KeyError/TypeError it happens to hit first.
+    payload = encode_config(EngineConfig())
+    del payload["wire_version"]
+    with pytest.raises(ProtocolMismatchError):
+        decode_config(payload)
+
+
+def test_decode_config_names_field_skew():
+    # Same stamp but a field this EngineConfig doesn't know (a worker on
+    # a dirty checkout): previously a bare TypeError from
+    # EngineConfig(**fields), now a named protocol error.
+    payload = encode_config(EngineConfig())
+    payload["field_from_the_future"] = 7
+    with pytest.raises(ProtocolMismatchError, match="same repro version"):
+        decode_config(payload)
+
+
+# -- handshake -------------------------------------------------------------------
+
+
+def test_handshake_rejects_version_skew():
+    """A worker speaking the wrong protocol version gets MSG_REJECT (and
+    raises ProtocolMismatchError client-side); the campaign keeps waiting
+    and accepts the correctly-versioned worker that connects next."""
+    transport = SocketTransport(
+        workers=1, program="wc", spec_payload={}, config_payload={},
+        spawn_workers=False, accept_timeout=20.0,
+    )
+    results: dict = {}
+
+    def serve():
+        try:
+            transport.start()
+            results["ok"] = True
+        except Exception as exc:  # pragma: no cover - surfaced via assert
+            results["error"] = exc
+
+    server = threading.Thread(target=serve, daemon=True)
+    server.start()
+    while transport.address is None:
+        pass
+
+    stale = socket.create_connection(transport.address, timeout=5.0)
+    try:
+        send_frame(stale, (MSG_HELLO, WIRE_VERSION + 1, {}))
+        reply = recv_frame(stale)
+        assert reply[0] == MSG_REJECT
+        assert "mismatch" in reply[1]
+        with pytest.raises(ProtocolMismatchError):
+            raise handshake_error(reply)
+    finally:
+        stale.close()
+
+    good = socket.create_connection(transport.address, timeout=5.0)
+    try:
+        send_frame(good, (MSG_HELLO, WIRE_VERSION, {"pid": 12345}))
+        reply = recv_frame(good)
+        assert reply[0] == MSG_WELCOME
+        wid, version, program = reply[1], reply[2], reply[3]
+        assert (wid, version, program) == (0, WIRE_VERSION, "wc")
+        server.join(timeout=10.0)
+        assert results.get("ok"), results.get("error")
+        assert transport.worker_ids == [0]
+        # The os pid from HELLO meta is what chaos kill() targets.
+        assert transport._endpoints[0].meta["pid"] == 12345
+    finally:
+        good.close()
+        transport.close()
+
+
+def test_worker_session_handshake_and_stop():
+    """Client-side handshake: connect() yields a configured session, and
+    a TASK_STOP from the coordinator lands on the session task queue."""
+    config_payload = encode_config(EngineConfig())
+    transport = SocketTransport(
+        workers=1, program="wc",
+        spec_payload={"n_args": 1, "arg_len": 2}, config_payload=config_payload,
+        spawn_workers=False, accept_timeout=20.0,
+    )
+    server = threading.Thread(target=transport.start, daemon=True)
+    server.start()
+    while transport.address is None:
+        pass
+    session = connect(*transport.address, retries=10)
+    try:
+        server.join(timeout=10.0)
+        assert session.wid == 0
+        assert session.program == "wc"
+        assert session.spec_payload == {"n_args": 1, "arg_len": 2}
+        decode_config(session.config_payload)  # stamped and decodable
+        transport.stop_worker(0)
+        msg = session.task_q.get(timeout=10.0)
+        assert msg[0] == "stop"
+    finally:
+        session.close()
+        transport.close()
+
+
+# -- end to end ------------------------------------------------------------------
+
+
+def test_socket_two_workers_matches_sequential():
+    seq = run_parallel("wc", workers=1)
+    par = run_parallel(
+        "wc", parallel=ParallelConfig(workers=2, backend="socket")
+    )
+    par.check_ledger()
+    assert par.partitions > 0
+    assert len(par.ledger) == 3  # coordinator + 2 workers
+    assert par.requeues == 0 and par.workers_lost == 0
+    assert par.paths == seq.paths
+    assert suite_multiset(par) == suite_multiset(seq)
+    assert par.covered == seq.covered
+    # Both socket workers actually did path work.
+    worker_paths = [entry[1].paths_completed for entry in par.ledger[1:]]
+    assert sum(worker_paths) > 0
