@@ -1,0 +1,117 @@
+"""Checkpoint cadence and the campaign resume entry point.
+
+:class:`CampaignCheckpointer` is the coordinator-side state machine: it
+owns the monotonic epoch counter, decides when an accepted completion is
+worth an epoch (``checkpoint_every``), writes records through
+:mod:`repro.campaign.record`, and deletes the campaign once the run
+commits — a completed campaign leaves no checkpoint rows behind.
+
+:func:`resume_campaign` is the other half: load the newest consistent
+epoch, rebuild spec/config/parallel from the record's replay context,
+and hand a :class:`~repro.parallel.coordinator.Coordinator` the record
+to continue from.  Resume semantics mirror worker-death recovery
+exactly: completed partitions stay completed (their tests, coverage and
+stats deltas are restored from the record, never re-explored), while
+every partition that was in flight at the crash goes back to the
+scheduler queue and is explored from its original snapshot — the same
+"revoked lease" treatment :meth:`handle_death` applies, so the identity
+law (byte-identical plain-mode test multiset, clean ``check_ledger()``)
+carries over a coordinator SIGKILL.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from .record import CampaignRecord, load_campaign, save_checkpoint
+
+
+class CampaignError(RuntimeError):
+    """A campaign-level failure (missing record, unusable store)."""
+
+
+class CampaignNotFound(CampaignError):
+    """``--resume`` named a campaign with no stored checkpoint."""
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised by chaos injectors to abort a coordinator mid-campaign.
+
+    The fault harness (``repro.experiments.figures.fault_tolerance`` and
+    the resume tests) uses this to model a coordinator SIGKILL in
+    process: checkpoints already written are durable, the transport
+    closes on the way out (standing in for the orphaned workers dying),
+    and the campaign is left resumable.  The CLI's hidden
+    ``--chaos-kill`` knob delivers a *real* SIGKILL for the end-to-end
+    variant.
+    """
+
+
+def new_campaign_id() -> str:
+    """A short, collision-unlikely campaign identity for the CLI."""
+    return "c" + os.urandom(4).hex()
+
+
+class CampaignCheckpointer:
+    """Owns the epoch counter and write cadence for one campaign."""
+
+    def __init__(self, store, campaign: str, keep: int = 2):
+        self.store = store
+        self.campaign = campaign
+        self.keep = keep
+        # Monotonic across resumes: a resumed coordinator continues from
+        # the loaded record's epoch, so epoch numbers never reuse.
+        self.epoch = 0
+        self.epochs_written = 0
+
+    def save(self, record: CampaignRecord) -> int:
+        self.epoch += 1
+        record.epoch = self.epoch
+        save_checkpoint(self.store, record, keep=self.keep)
+        self.epochs_written += 1
+        return self.epoch
+
+    def finish(self) -> None:
+        """Campaign completed: drop its checkpoints (and their blobs)."""
+        self.store.delete_campaign(self.campaign)
+
+
+def resume_campaign(store_path, campaign_id: str, overrides: dict | None = None):
+    """Continue a checkpointed campaign from its newest consistent epoch.
+
+    Returns the finished :class:`~repro.parallel.coordinator
+    .ParallelResult`, exactly as the undisturbed run would have.
+    ``overrides`` patches fields of the recorded
+    :class:`~repro.parallel.coordinator.ParallelConfig` (e.g. a
+    different ``socket_port`` or worker count for the resume fleet).
+    """
+    from ..env.argv import ArgvSpec
+    from ..parallel.coordinator import Coordinator, ParallelConfig
+    from ..parallel.wire import decode_config
+    from ..store import open_store
+
+    store = open_store(store_path)
+    try:
+        record = load_campaign(store, campaign_id)
+    finally:
+        store.close()
+    if record is None:
+        raise CampaignNotFound(
+            f"no checkpoint for campaign {campaign_id!r} in {str(store_path)!r}"
+        )
+    spec = ArgvSpec(**record.spec_payload)
+    config = decode_config(record.config_payload)
+    # The store may have moved since the original run; the resume's path
+    # is authoritative (it is where the record was just read from).
+    config = dataclasses.replace(
+        config, store_path=str(store_path), store_readonly=False
+    )
+    payload = dict(record.parallel_payload)
+    payload.update(overrides or {})
+    payload["campaign_id"] = campaign_id
+    parallel = ParallelConfig(**payload)
+    coordinator = Coordinator(
+        record.program, spec, config, parallel, resume=record
+    )
+    return coordinator.run()

@@ -1,0 +1,128 @@
+"""Campaign records: everything a crashed coordinator needs to continue.
+
+One :class:`CampaignRecord` is a full snapshot of a partitioned
+exploration at a quiescent point of the coordinator's select loop:
+
+* the **pending frontier** — every partition not yet accepted (queued,
+  leased, or retained by a steal checkpoint), as content-addressed
+  snapshot blobs plus the scheduling metadata
+  (:meth:`repro.parallel.partition.Partition.sched_meta`) needed to
+  rebuild the :class:`~repro.sched.PartitionScheduler` queue without
+  decoding a single snapshot;
+* the **completed results** — accepted tests, coverage, streamed path
+  counts and the per-partition completion log (these partitions are
+  *never* re-explored on resume);
+* the **stats ledger** — the frozen split-phase entry plus the merged
+  accepted per-worker deltas, so ``check_ledger()`` holds across a
+  crash/resume boundary exactly as it does across a worker death;
+* the **replay context** — program name, input spec, engine config
+  (:func:`repro.parallel.wire.encode_config` — the same codec the worker
+  handshake ships), parallel knobs, and the coordinator counters (next
+  pid, steals, requeue log) so telemetry continues instead of resetting;
+* the split engine's **buffered store inserts**, applied at the resumed
+  run's final commit in place of the tier the crash took with it.
+
+Records are pickled into the store's ``checkpoints`` table; partition
+snapshots go through :meth:`ReproStore.put_blob` (SHA-256
+content-addressing — consecutive epochs share unchanged partitions).
+Row + blob refs + epoch GC commit in one transaction, so the newest
+epoch in the file is always consistent: "find the newest consistent
+epoch" is simply ``ORDER BY epoch DESC LIMIT 1``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field, fields
+
+from ..store.db import ReproStore
+
+# Bumped whenever the pickled record layout changes; a resume refuses
+# records it cannot faithfully reconstruct instead of guessing.
+RECORD_VERSION = 1
+
+
+@dataclass
+class CampaignRecord:
+    """One checkpoint epoch of one campaign (see module docstring)."""
+
+    campaign: str
+    program: str
+    # Replay context.
+    spec_payload: dict
+    config_payload: dict
+    parallel_payload: dict
+    # Assigned by the checkpointer at save time; the epoch a resume loaded.
+    epoch: int = 0
+    phase: str = "dispatch"  # split | dispatch | steal | requeue | drain
+    # Coordinator counters, restored verbatim so pids stay unique and
+    # telemetry accumulates across the crash.
+    factor: int = 0
+    next_pid: int = 0
+    partitions_dispatched: int = 0
+    steals: int = 0
+    workers_lost: int = 0
+    requeues: int = 0
+    requeue_log: list = field(default_factory=list)
+    requeue_counts: dict = field(default_factory=dict)
+    # Pending frontier: (pid | None, snapshot bytes, origin, sched meta).
+    # pid None = a steal-retained state that never got a pid; the resume
+    # allocates one.
+    pending: list = field(default_factory=list)
+    # Accepted results (completed partitions — not re-explored).
+    tests: list = field(default_factory=list)
+    covered: set = field(default_factory=set)
+    streamed_paths: int = 0
+    partition_results: list = field(default_factory=list)
+    # Ledger: merged accepted per-worker deltas and the frozen split entry.
+    worker_entries: list = field(default_factory=list)
+    split_entry: tuple | None = None
+    split_tests: list = field(default_factory=list)
+    split_covered: set = field(default_factory=set)
+    # The split engine's buffered store inserts (PersistentTier payload).
+    store_payload: dict | None = None
+
+
+def save_checkpoint(store: ReproStore, record: CampaignRecord, keep: int = 2) -> None:
+    """Persist one epoch: content-address the pending snapshots, then
+    write row + blob refs + epoch GC in a single transaction."""
+    with store.transaction():
+        refs: list[str] = []
+        pending_refs = []
+        for pid, snapshot, origin, meta in record.pending:
+            digest = store.put_blob(snapshot)
+            refs.append(digest)
+            pending_refs.append((pid, digest, origin, meta))
+        payload = {f.name: getattr(record, f.name) for f in fields(CampaignRecord)}
+        payload["pending"] = pending_refs
+        payload["version"] = RECORD_VERSION
+        state = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        store.put_checkpoint(
+            record.campaign, record.epoch, record.phase, state, refs, keep=keep
+        )
+
+
+def load_campaign(store: ReproStore, campaign: str) -> CampaignRecord | None:
+    """Newest consistent epoch of a campaign, snapshots rehydrated.
+
+    Epochs are written transactionally, so the newest row *is*
+    consistent; the walk over older epochs is belt-and-braces against a
+    record whose blobs were swept by an over-eager external GC.
+    """
+    for epoch, _phase, state in store.iter_checkpoints(campaign):
+        payload = pickle.loads(state)
+        if payload.pop("version", None) != RECORD_VERSION:
+            continue
+        pending = []
+        complete = True
+        for pid, digest, origin, meta in payload["pending"]:
+            snapshot = store.get_blob(digest)
+            if snapshot is None:
+                complete = False
+                break
+            pending.append((pid, snapshot, origin, meta))
+        if not complete:
+            continue
+        payload["pending"] = pending
+        return CampaignRecord(**payload)
+    return None

@@ -162,6 +162,8 @@ class Engine:
         self._store_tier = None
         self._store_committed = False
         self._owns_store = False
+        # Set when a commit degraded because the store stayed locked.
+        self.store_warning: str | None = None
         # Blocks any stored corpus test has covered — the scheduler's
         # cross-run novelty signal (repro.sched.CorpusNoveltySignal).
         # Empty without a store, so the signal is neutral.
@@ -201,6 +203,13 @@ class Engine:
         metadata row, flushes the solver tier's buffered constraint
         inserts and UNSAT cores, and records the generated tests (with
         replayed coverage bitmaps) into the corpus.  Idempotent per run.
+
+        The commit is one store transaction, retried with bounded
+        backoff when another process holds the SQLite write lock.  If
+        the store stays locked past the retry budget the run degrades
+        instead of failing: the results in memory are untouched,
+        ``self.store_warning`` names what was lost (only the cross-run
+        cache/corpus update), and the method returns None.
         """
         if (
             self.store is None
@@ -209,27 +218,60 @@ class Engine:
             or self._store_committed
         ):
             return None
-        from ..store import record_tests, spec_fingerprint
+        import sqlite3
+
+        from ..store import (
+            apply_payload,
+            is_locked_error,
+            record_tests,
+            retry_locked,
+            spec_fingerprint,
+        )
 
         self._store_committed = True
         solver_stats = self.solver.stats
-        run_id = self.store.record_run(
-            self.program,
-            spec_fingerprint(self.spec),
-            mode=f"{self.config.merging}/{self.config.similarity}/{self.config.strategy}",
-            wall_time=self.stats.wall_time,
-            queries=solver_stats.queries,
-            sat_solver_runs=solver_stats.sat_solver_runs,
-            store_hits=solver_stats.store_hits,
-            cost_units=solver_stats.cost_units,
-            paths=self.stats.paths_completed,
-            tests=self.stats.tests_generated,
-            stats=self.stats.snapshot(),
-        )
-        self._store_tier.flush(run_id=run_id)
-        record_tests(
-            self.store, self.module, self.program, self.spec, self.tests.cases, run_id
-        )
+        store = self.store
+        # Drain the tier buffer once, outside the retried closure: a
+        # rolled-back attempt must not lose it, a retry not re-drain it.
+        payload = self._store_tier.export_pending()
+
+        def commit() -> int:
+            with store.transaction():
+                run_id = store.record_run(
+                    self.program,
+                    spec_fingerprint(self.spec),
+                    mode=(
+                        f"{self.config.merging}/{self.config.similarity}/"
+                        f"{self.config.strategy}"
+                    ),
+                    wall_time=self.stats.wall_time,
+                    queries=solver_stats.queries,
+                    sat_solver_runs=solver_stats.sat_solver_runs,
+                    store_hits=solver_stats.store_hits,
+                    cost_units=solver_stats.cost_units,
+                    paths=self.stats.paths_completed,
+                    tests=self.stats.tests_generated,
+                    stats=self.stats.snapshot(),
+                )
+                if payload:
+                    apply_payload(store, payload, run_id=run_id)
+                record_tests(
+                    store, self.module, self.program, self.spec,
+                    self.tests.cases, run_id,
+                )
+                return run_id
+
+        try:
+            run_id = retry_locked(commit)
+        except sqlite3.OperationalError as exc:
+            if not is_locked_error(exc):
+                raise
+            self.store_warning = (
+                f"store commit skipped: {self.config.store_path!r} stayed "
+                f"locked past the retry budget ({exc}); run results are "
+                "complete, only the cross-run cache/corpus update was lost"
+            )
+            run_id = None
         self.close_store()
         return run_id
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .harness import (
     FAST_EXHAUSTIVE,
@@ -1228,12 +1228,18 @@ def parallel_scaling(
 @dataclass
 class FaultRow:
     program: str
-    fault: str  # "<method>@<event>": kill/disconnect at start/done
+    # "<method>@<event>": kill/disconnect a worker at start/done, or
+    # "coord-kill@<event>" — the coordinator itself dies there and the
+    # campaign is resumed from its newest checkpoint epoch.
+    fault: str
     paths: int
     tests: int
     partitions: int
     requeues: int
     workers_lost: int
+    # Completed partitions a resume restored from the checkpoint record
+    # instead of re-exploring (0 for worker-fault rows).
+    restored: int = 0
 
 
 @dataclass
@@ -1244,16 +1250,19 @@ class FaultToleranceResult:
     def table(self) -> str:
         data = [
             [r.program, r.fault, r.paths, r.tests, r.partitions, r.requeues,
-             r.workers_lost]
+             r.workers_lost, r.restored]
             for r in self.rows
         ]
         return render_table(
-            ["tool", "fault", "paths", "tests", "parts", "requeues", "lost"],
+            ["tool", "fault", "paths", "tests", "parts", "requeues", "lost",
+             "restored"],
             data,
             title=(
                 f"Fault tolerance — {self.workers}-worker socket campaigns with "
-                "one injected worker fault; every row verified identical to the "
-                "undisturbed sequential run (test multiset + coverage + ledger)"
+                "one injected fault (worker kill/disconnect, or coordinator "
+                "kill + checkpoint resume); every row verified identical to "
+                "the undisturbed sequential run (test multiset + coverage + "
+                "ledger)"
             ),
         )
 
@@ -1264,15 +1273,24 @@ def fault_tolerance(
     """Crash-recovery validation on the socket transport (§4.3 claims).
 
     For each program, run the sequential baseline once, then three
-    socket-transport campaigns each disturbed by one injected fault —
-    SIGKILL at a partition start, a dropped connection (simulated network
-    partition) at a partition start, SIGKILL right after a completion —
-    via the coordinator's ``fault_injector`` chaos hook.  Every recovered
-    campaign must emit the *identical* plain-mode test multiset and block
-    coverage as the undisturbed run and pass ``check_ledger()``: the
-    lease layer requeues revoked partitions and discards revoked partial
-    results, so a worker death is invisible in the output.  A mismatch
-    raises.
+    socket-transport campaigns each disturbed by one injected worker
+    fault — SIGKILL at a partition start, a dropped connection (simulated
+    network partition) at a partition start, SIGKILL right after a
+    completion — via the coordinator's ``fault_injector`` chaos hook.
+    Every recovered campaign must emit the *identical* plain-mode test
+    multiset and block coverage as the undisturbed run and pass
+    ``check_ledger()``: the lease layer requeues revoked partitions and
+    discards revoked partial results, so a worker death is invisible in
+    the output.  A mismatch raises.
+
+    The first program additionally runs three *coordinator*-fault
+    campaigns (the durable-campaign resume identity law): a checkpointing
+    campaign is aborted at the split checkpoint, after the first accepted
+    completion, and at drain entry, then resumed from its newest store
+    epoch with ``repro.campaign.resume_campaign``.  The resumed result
+    must match the sequential baseline exactly, with every partition
+    completed before the crash restored from the record, never
+    re-explored (``restored_partitions``).
     """
     from ..parallel import Coordinator, ParallelConfig  # local import: avoid cycle
 
@@ -1294,8 +1312,8 @@ def fault_tolerance(
             )
             fired: list[int] = []
 
-            def chaos(ev, wid, transport, method=method, event=event,
-                      fired=fired):
+            def chaos(ev, wid, transport, pid=None, method=method,
+                      event=event, fired=fired):
                 if ev == event and not fired:
                     fired.append(wid)
                     getattr(transport, method)(wid)
@@ -1326,8 +1344,90 @@ def fault_tolerance(
                     paths=par.paths,
                     tests=len(par.tests.cases),
                     partitions=par.partitions,
-                    requeues=par.requeues,
+                    requeues=par.requeue_count,
                     workers_lost=par.workers_lost,
                 )
             )
+        if program == programs[0]:
+            rows.extend(
+                _coordinator_fault_rows(program, settings, seq_tests,
+                                        seq.covered, workers)
+            )
     return FaultToleranceResult(workers=workers, rows=rows)
+
+
+def _coordinator_fault_rows(
+    program: str, settings: RunSettings, seq_tests, seq_covered, workers: int
+) -> list[FaultRow]:
+    """Kill the *coordinator* at three campaign phases, resume, verify."""
+    import tempfile
+    from pathlib import Path
+
+    from ..campaign import CampaignInterrupted, resume_campaign
+    from ..parallel import Coordinator, ParallelConfig  # local import: avoid cycle
+
+    rows: list[FaultRow] = []
+    for event, nth in [("split", 1), ("done", 1), ("drain", 1)]:
+        with tempfile.TemporaryDirectory() as tmp:
+            store_path = str(Path(tmp) / "campaign.sqlite")
+            campaign_id = f"fig-{event}"
+            spec, config = settings_to_spec_config(settings)
+            config = replace(config, store_path=store_path)
+            coordinator = Coordinator(
+                program, spec, config,
+                ParallelConfig(workers=workers, backend="socket",
+                               heartbeat_timeout=3.0,
+                               campaign_id=campaign_id),
+            )
+            seen = [0]
+
+            def chaos(ev, wid, transport, pid=None, event=event, nth=nth,
+                      seen=seen):
+                if ev == event:
+                    seen[0] += 1
+                    if seen[0] == nth:
+                        raise CampaignInterrupted(f"{event}:{nth}")
+
+            coordinator.fault_injector = chaos
+            try:
+                coordinator.run()
+                raise AssertionError(
+                    f"{program}/coord-kill@{event}: chaos hook never fired"
+                )
+            except CampaignInterrupted:
+                pass
+            par = resume_campaign(store_path, campaign_id)
+            par.check_ledger()
+            label = f"coord-kill@{event}"
+            if _test_multiset(par.tests.cases) != seq_tests:
+                raise AssertionError(
+                    f"{program}/{label}: resumed campaign changed the test "
+                    "multiset"
+                )
+            if par.covered != seq_covered:
+                raise AssertionError(
+                    f"{program}/{label}: resumed campaign changed coverage"
+                )
+            if par.resumed_epoch is None:
+                raise AssertionError(
+                    f"{program}/{label}: resume did not load a checkpoint"
+                )
+            if event == "drain" and par.restored_partitions != par.partitions:
+                raise AssertionError(
+                    f"{program}/{label}: a drain-phase crash must restore "
+                    f"every partition ({par.restored_partitions} of "
+                    f"{par.partitions} restored)"
+                )
+            rows.append(
+                FaultRow(
+                    program=program,
+                    fault=label,
+                    paths=par.paths,
+                    tests=len(par.tests.cases),
+                    partitions=par.partitions,
+                    requeues=par.requeue_count,
+                    workers_lost=par.workers_lost,
+                    restored=par.restored_partitions,
+                )
+            )
+    return rows

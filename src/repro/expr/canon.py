@@ -145,6 +145,49 @@ def _colored_hash(root: Expr, colors: dict[str, bytes], memo: dict[int, bytes]) 
     )
 
 
+def _context_sigs(cons, ccolors, memo) -> dict[str, list[bytes]]:
+    """Per-variable root-to-occurrence context signatures (top-down WL).
+
+    A variable's *parent digest* alone cannot tell apart two occurrences
+    whose parents happen to be structurally identical but sit in
+    different places — ``eq(add(a, add(c, a)), add(a, b))``: the two
+    binary adds have equal colored digests whenever b and c are tied, so
+    b and c would stay tied forever even though swapping them is no
+    automorphism, leaving the canonical order to the (name-dependent)
+    operand orientation.  The fix is context: every node gets a top-down
+    digest mixing its parents' contexts, the parents' own colored
+    digests, and the sibling digest multiset at each edge (plus the
+    operand position for non-commutative kinds only — commutative edges
+    stay orientation-blind).  Shared DAG nodes fold the contexts of all
+    their parent edges into one sorted multiset, which keeps the pass
+    linear in DAG edges instead of exponential in sharing depth.
+    """
+    # eid -> contexts of every parent edge reaching that node.
+    edge_ctx: dict[int, list[bytes]] = {}
+    walked: set[int] = set()
+    topo: list[Expr] = []
+    for i, c in enumerate(cons):
+        edge_ctx.setdefault(c.eid, []).append(_h("root", ccolors[i]))
+        topo.extend(_postorder(c, walked))
+    sigs: dict[str, list[bytes]] = {}
+    # _postorder emits children before parents; reversed, every node is
+    # visited only after all its parents, so its context is complete.
+    for node in reversed(topo):
+        ctx = _h("td", *sorted(edge_ctx.get(node.eid, ())))
+        if node.kind == VAR:
+            sigs.setdefault(node.name, []).append(ctx)
+            continue
+        commutative = node.kind in _COMMUTATIVE
+        child_digests = [memo[ch.eid] for ch in node.children]
+        for j, child in enumerate(node.children):
+            sibs = sorted(child_digests[:j] + child_digests[j + 1:])
+            edge_ctx.setdefault(child.eid, []).append(
+                _h("e", ctx, memo[node.eid],
+                   b"*" if commutative else j, *sibs)
+            )
+    return sigs
+
+
 @dataclass(frozen=True)
 class CanonResult:
     """Canonical key plus the renaming that produced it.
@@ -181,23 +224,19 @@ def canonicalize(constraints) -> CanonResult:
 
     # WL refinement: constraint colours from variable colours and back.
     # A variable's colour mixes the colours of the constraints it occurs in
-    # *and* the digests of its direct parent nodes — the parent part is
-    # what separates positionally distinct variables inside one constraint
-    # (e.g. ``eq(a, add(b, c))``: a's parent is the eq, b's and c's the
-    # add) without ever depending on commutative operand orientation.
+    # *and* its root-to-occurrence contexts (:func:`_context_sigs`) — the
+    # context part is what separates positionally distinct variables
+    # inside one constraint (e.g. ``eq(a, add(b, c))``: a sits under the
+    # eq, b and c under the add, and the contexts also see *where in the
+    # constraint* each parent sits) without ever depending on commutative
+    # operand orientation.
     # (_REFINE_ROUNDS >= 1, so ccolors is always set by the first round.)
     colors = {name: _h("v0", code) for name, code in var_sorts.items()}
     ccolors: list[bytes] = []
     for round_no in range(_REFINE_ROUNDS):
         memo: dict[int, bytes] = {}
         ccolors = [_colored_hash(c, colors, memo) for c in cons]
-        parent_sigs: dict[str, list[bytes]] = {name: [] for name in var_sorts}
-        walked: set[int] = set()
-        for c in cons:
-            for node in _postorder(c, walked):  # DAG-deduped across the set
-                for child in node.children:
-                    if child.kind == VAR:
-                        parent_sigs[child.name].append(memo[node.eid])
+        var_sigs = _context_sigs(cons, ccolors, memo)
         new_colors: dict[str, bytes] = {}
         for name in var_sorts:
             occurrences = sorted(
@@ -209,7 +248,7 @@ def canonicalize(constraints) -> CanonResult:
                 colors[name],
                 *occurrences,
                 b"|",
-                *sorted(parent_sigs[name]),
+                *sorted(var_sigs.get(name, [])),
             )
         colors = new_colors
 

@@ -31,6 +31,7 @@ Invariants (see the module docstrings for details):
 """
 
 from .coordinator import (
+    ConfigError,
     Coordinator,
     ParallelConfig,
     ParallelResult,
@@ -40,6 +41,7 @@ from .coordinator import (
 from .partition import Partition
 
 __all__ = [
+    "ConfigError",
     "Coordinator",
     "ParallelConfig",
     "ParallelResult",

@@ -79,12 +79,26 @@ from .wire import (
 from .worker import run_partition
 
 
+class ConfigError(ValueError):
+    """A :class:`ParallelConfig` (or campaign setup) that cannot work.
+
+    Raised at construction time — a misconfigured fault-tolerance knob
+    (a lease deadline shorter than the heartbeat period, a zero
+    checkpoint cadence) must fail before any worker is spawned, not
+    misbehave mid-campaign.  Subclasses :class:`ValueError` so existing
+    callers catching that keep working.
+    """
+
+
 class WorkerCrashError(RuntimeError):
     """A worker died (or the fleet did) in a way the run cannot absorb.
 
-    Raised when the queue backend loses a worker (no lease layer there),
-    when every worker of a socket campaign is gone, or when one
-    partition keeps killing its owners (``max_partition_requeues``).
+    Raised when the queue backend loses a worker (no lease layer there)
+    or when every worker of a socket campaign is gone.  A single
+    partition that keeps killing its owners no longer raises: it is
+    dropped after ``max_partition_requeues`` with a named entry in
+    ``ParallelResult.requeues`` and the campaign completes for the
+    survivors.
     """
 
 
@@ -131,9 +145,62 @@ class ParallelConfig:
     heartbeat_interval: float = 0.5
     heartbeat_timeout: float = 5.0
     # A partition whose lease is revoked more than this many times is
-    # presumed poison (it kills every owner) and fails the run by name
-    # instead of cycling forever.
+    # presumed poison (it kills every owner) and is dropped with a named
+    # entry in ParallelResult.requeues instead of cycling forever — the
+    # campaign completes with a clean ledger for the survivors.
     max_partition_requeues: int = 3
+    # -- durable campaigns -------------------------------------------------
+    # Campaign identity for checkpoint/resume (repro.campaign).  When
+    # set — the engine config must name a writable store — the
+    # coordinator persists a campaign record at the end of the split
+    # phase, at every lease requeue and steal checkpoint, at drain, and
+    # after accepted completions per checkpoint_every; `python -m
+    # repro.remote campaign --resume <id>` continues from the newest
+    # epoch after a coordinator crash.
+    campaign_id: str | None = None
+    # Checkpoint after every Nth accepted partition completion (requeue,
+    # steal and drain checkpoints always fire).  Higher = less write
+    # overhead, more re-exploration after a crash — never wrong results.
+    checkpoint_every: int = 1
+    # Epochs retained per campaign (older ones are GC'd, their
+    # unreferenced snapshot blobs swept).
+    checkpoint_keep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.dispatch not in ("corpus", "fifo"):
+            raise ConfigError(f"unknown dispatch policy {self.dispatch!r}")
+        if self.backend not in ("inline", "process", "socket"):
+            raise ConfigError(f"unknown backend {self.backend!r}")
+        if self.partition_factor is not None and self.partition_factor < 1:
+            raise ConfigError("partition_factor must be >= 1 (or None = adaptive)")
+        if self.split_max_steps < 1:
+            raise ConfigError("split_max_steps must be >= 1")
+        if self.poll_timeout <= 0 or self.join_timeout <= 0:
+            raise ConfigError("poll_timeout and join_timeout must be > 0")
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be > 0")
+        if self.heartbeat_timeout < 2 * self.heartbeat_interval:
+            raise ConfigError(
+                f"heartbeat_timeout ({self.heartbeat_timeout}) must be at "
+                f"least twice heartbeat_interval ({self.heartbeat_interval}): "
+                "the lease deadline has to absorb scheduling jitter or live "
+                "workers get fenced"
+            )
+        if self.max_partition_requeues < 0:
+            raise ConfigError("max_partition_requeues must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
+        if self.checkpoint_keep < 1:
+            raise ConfigError("checkpoint_keep must be >= 1")
+        if self.campaign_id is not None and self.backend != "socket":
+            raise ConfigError(
+                "campaign checkpointing requires backend='socket': "
+                "checkpoint records are built from the lease layer's "
+                "accepted per-partition stats deltas, which only the "
+                "socket transport tracks"
+            )
 
 
 # One ledger participant: (name, engine stats, solver stats).
@@ -176,11 +243,35 @@ class ParallelResult:
     partition_factor: int = 0
     imbalance: float = 1.0
     partition_results: list = field(default_factory=list)
-    # Fault-tolerance telemetry: partitions whose lease was revoked and
-    # requeued (includes retained-checkpoint re-queues), and workers
-    # fenced after dying mid-campaign.  Both 0 on an undisturbed run.
-    requeues: int = 0
+    # Fault-tolerance telemetry: the requeue event log — one named dict
+    # per lease revocation ({"kind": "requeue", "pid", "source_pid",
+    # "worker", "origin"}) and per poison-partition drop ({"kind":
+    # "dropped", "pid", "origin", "worker", "revocations", "reason"}) —
+    # plus workers fenced after dying mid-campaign.  Both empty/0 on an
+    # undisturbed run.
+    requeues: list = field(default_factory=list)
     workers_lost: int = 0
+    # -- durable campaigns -------------------------------------------------
+    # Campaign identity, the newest checkpoint epoch written by this run
+    # (0 = checkpointing off), the epoch a resume continued from (None =
+    # fresh run), and how many completed partitions the resume restored
+    # from the record instead of re-exploring.
+    campaign_id: str | None = None
+    checkpoint_epoch: int = 0
+    resumed_epoch: int | None = None
+    restored_partitions: int = 0
+    # Set when the end-of-run store commit had to be skipped (store
+    # locked/unavailable after bounded retries): results are complete
+    # and returned, only the cross-run cache/corpus update was lost.
+    store_warning: str | None = None
+
+    @property
+    def requeue_count(self) -> int:
+        return sum(1 for entry in self.requeues if entry.get("kind") == "requeue")
+
+    @property
+    def dropped_partitions(self) -> list:
+        return [entry for entry in self.requeues if entry.get("kind") == "dropped"]
 
     @property
     def paths(self) -> int:
@@ -269,40 +360,63 @@ class Coordinator:
         spec: ArgvSpec,
         config: EngineConfig,
         parallel: ParallelConfig | None = None,
+        resume=None,
     ):
         self.program = program
         self.spec = spec
         self.config = config
         self.parallel = parallel or ParallelConfig()
-        if self.parallel.workers < 1:
-            raise ValueError("workers must be >= 1")
         self.partitions_dispatched = 0
         self.steals = 0
         self.requeues = 0
         self.workers_lost = 0
+        # Named requeue/drop events, in order (ParallelResult.requeues).
+        self.requeue_log: list[dict] = []
         self._next_pid = 0
         # Built in run(): the partition scheduler and the effective split
         # factor (resolved from the store when the config says adaptive).
         self._sched: PartitionScheduler | None = None
         self._factor = 0
         # Chaos hook for the fault-injection harness: called as
-        # fault_injector(event, wid, transport) after every processed
-        # "start"/"done" event; may transport.kill(wid)/disconnect(wid).
+        # fault_injector(event, wid, transport, pid) after every
+        # processed "start"/"done" event (pid = the partition involved),
+        # after the split checkpoint ("split") and at drain entry
+        # ("drain"); may transport.kill(wid)/disconnect(wid) or raise.
         self.fault_injector = None
+        # -- durable campaigns -------------------------------------------
+        # resume: a repro.campaign.CampaignRecord to continue from.
+        self._resume = resume
+        self._ckpt = None  # CampaignCheckpointer when campaign_id active
+        # Frozen split-phase contribution (entry, tests, covered, store
+        # payload) — checkpoint records and _assemble read one snapshot.
+        self._split_ctx = None
+        # Prior-generation worker ledger entries restored by a resume.
+        self._prior_entries: list[LedgerEntry] = []
+        self._resumed_epoch: int | None = None
+        self._restored_partitions = 0
+        self._store_warning: str | None = None
+        if self.parallel.campaign_id is not None:
+            if not self.config.store_path:
+                raise ConfigError(
+                    "campaign_id requires config.store_path — checkpoints "
+                    "are stored blobs"
+                )
+            if self.config.store_readonly:
+                raise ConfigError(
+                    "campaign checkpointing requires a writable store"
+                )
 
     # -- public entry -----------------------------------------------------------
 
     def run(self) -> ParallelResult:
+        if self._resume is not None:
+            return self._run_resume()
         start = time.perf_counter()
         module = get_program(self.program).compile()
         split_engine = Engine(module, self.spec, self.config, program=self.program)
         split_engine.seed_states([split_engine.make_initial_state()])
 
         par = self.parallel
-        if par.dispatch not in ("corpus", "fifo"):
-            raise ValueError(f"unknown dispatch policy {par.dispatch!r}")
-        if par.backend not in ("inline", "process", "socket"):
-            raise ValueError(f"unknown backend {par.backend!r}")
         self._factor = (
             par.partition_factor
             if par.partition_factor is not None
@@ -338,6 +452,19 @@ class Coordinator:
             policy=par.dispatch,
         )
 
+        # Freeze the split-phase contribution and write the campaign's
+        # first epoch: a coordinator killed between here and the first
+        # completion resumes with the whole frontier pending and nothing
+        # re-split.
+        self._split_ctx = self._capture_split(split_engine)
+        self._ckpt = self._make_checkpointer(split_engine)
+        self._save_checkpoint(
+            "split",
+            [(p.pid, p.snapshot, p.origin, p.sched_meta()) for p in partitions],
+            [], set(), 0, [], {}, [],
+        )
+        self._fault_event("split", -1, None)
+
         if par.backend == "inline":
             entries, tests, covered, streamed, payloads, part_results = (
                 self._run_inline(module, partitions)
@@ -372,18 +499,22 @@ class Coordinator:
     ) -> Partition:
         return Partition.from_blob(self._alloc_pid(), blob, origin, meta)
 
-    def _make_transport(self):
-        """Resolve ParallelConfig.backend to a transport instance."""
-        from ..remote.transport import QueueTransport, SocketTransport
-
-        par = self.parallel
-        spec_payload = {
+    def _spec_payload(self) -> dict:
+        """The input spec as a picklable dict (wire + campaign records)."""
+        return {
             "n_args": self.spec.n_args,
             "arg_len": self.spec.arg_len,
             "prog_name": self.spec.prog_name,
             "concrete_args": self.spec.concrete_args,
             "stdin_len": self.spec.stdin_len,
         }
+
+    def _make_transport(self):
+        """Resolve ParallelConfig.backend to a transport instance."""
+        from ..remote.transport import QueueTransport, SocketTransport
+
+        par = self.parallel
+        spec_payload = self._spec_payload()
         config = self.config
         if par.backend == "socket" and not par.spawn_workers and config.store_path:
             # External workers cannot reach the coordinator's store file;
@@ -407,9 +538,170 @@ class Coordinator:
             join_timeout=par.join_timeout,
         )
 
-    def _fault_event(self, event: str, wid: int, transport) -> None:
+    def _fault_event(self, event: str, wid: int, transport, pid: int | None = None) -> None:
         if self.fault_injector is not None:
-            self.fault_injector(event, wid, transport)
+            self.fault_injector(event, wid, transport, pid)
+
+    # -- durable campaigns (checkpoint/resume) -------------------------------------
+
+    def _capture_split(self, split_engine: Engine) -> tuple:
+        """Freeze the split phase's ledger entry, tests, coverage, and
+        buffered store inserts.  Nothing mutates the split engine after
+        the split, so this one snapshot serves every later checkpoint
+        record *and* the final assembly — they can never disagree."""
+        split_engine._sync_solver_stats()
+        entry: LedgerEntry = (
+            "coordinator",
+            copy.deepcopy(split_engine.stats),
+            copy.deepcopy(split_engine.solver.stats),
+        )
+        tests = list(split_engine.tests.cases)
+        covered = set(split_engine.coverage.covered)
+        payload = None
+        if split_engine._store_tier is not None:
+            payload = split_engine._store_tier.peek_pending()
+        return (entry, tests, covered, payload)
+
+    def _make_checkpointer(self, engine: Engine):
+        """A CampaignCheckpointer bound to the engine's store, or None."""
+        par = self.parallel
+        if par.campaign_id is None:
+            return None
+        store = getattr(engine, "store", None)
+        if store is None or store.readonly:
+            raise ConfigError(
+                f"campaign {par.campaign_id!r} needs a writable store at "
+                f"{self.config.store_path!r}"
+            )
+        from ..campaign import CampaignCheckpointer  # local import: avoid cycle
+
+        ckpt = CampaignCheckpointer(store, par.campaign_id, keep=par.checkpoint_keep)
+        if self._resume is not None:
+            ckpt.epoch = self._resume.epoch
+        return ckpt
+
+    def _save_checkpoint(
+        self,
+        phase: str,
+        pending_blobs: list,
+        tests: list,
+        covered: set,
+        streamed_paths: int,
+        partition_results: list,
+        requeue_counts: dict,
+        fleet_entries: list,
+    ) -> None:
+        """Persist one campaign epoch from the select loop's current state.
+
+        ``pending_blobs`` rows are ``(pid | None, snapshot, origin,
+        meta)`` — the scheduler queue plus every in-flight lease folded
+        back to pending (a checkpoint treats outstanding leases exactly
+        as :func:`handle_death` would: full snapshot requeued, or steal
+        residuals split into accepted interim + retained frontier).
+        """
+        if self._ckpt is None:
+            return
+        from ..campaign import CampaignRecord  # local import: avoid cycle
+
+        entry, split_tests, split_covered, store_payload = self._split_ctx
+        record = CampaignRecord(
+            campaign=self.parallel.campaign_id,
+            program=self.program,
+            spec_payload=self._spec_payload(),
+            config_payload=encode_config(self.config),
+            parallel_payload=dataclasses.asdict(self.parallel),
+            phase=phase,
+            factor=self._factor,
+            next_pid=self._next_pid,
+            partitions_dispatched=self.partitions_dispatched,
+            steals=self.steals,
+            workers_lost=self.workers_lost,
+            requeues=self.requeues,
+            requeue_log=list(self.requeue_log),
+            requeue_counts=dict(requeue_counts),
+            pending=list(pending_blobs),
+            tests=list(tests),
+            covered=set(covered),
+            streamed_paths=streamed_paths,
+            partition_results=list(partition_results),
+            worker_entries=self._prior_entries + fleet_entries,
+            split_entry=entry,
+            split_tests=split_tests,
+            split_covered=split_covered,
+            store_payload=store_payload,
+        )
+        self._ckpt.save(record)
+
+    def _run_resume(self) -> ParallelResult:
+        """Continue a campaign from a loaded CampaignRecord.
+
+        The split phase never re-runs: its ledger entry, tests and
+        coverage come from the record, as do the accepted results of
+        every completed partition (provably not re-explored — their pids
+        are absent from this run's dispatch log).  Pending partitions
+        rebuild the scheduler queue from their snapshots and are
+        explored by a fresh worker fleet with the usual semantics.
+        """
+        start = time.perf_counter()
+        rec = self._resume
+        par = self.parallel
+        module = get_program(self.program).compile()
+        # Store access, corpus signals, and the final single-writer
+        # commit — this engine never explores.
+        engine = Engine(module, self.spec, self.config, program=self.program)
+        self._next_pid = rec.next_pid
+        self.partitions_dispatched = rec.partitions_dispatched
+        self.steals = rec.steals
+        self.workers_lost = rec.workers_lost
+        self.requeues = rec.requeues
+        self.requeue_log = list(rec.requeue_log)
+        self._factor = rec.factor
+        self._resumed_epoch = rec.epoch
+        self._restored_partitions = len(rec.partition_results)
+        self._split_ctx = (
+            rec.split_entry, rec.split_tests, rec.split_covered, None,
+        )
+        # Prior-generation fleets keep their ledger identity, tagged with
+        # the epoch their deltas were restored from (exactly once — a
+        # twice-resumed campaign keeps earlier tags).
+        self._prior_entries = [
+            (name if "@e" in name else f"{name}@e{rec.epoch}", estats, sstats)
+            for name, estats, sstats in rec.worker_entries
+        ]
+        partitions = []
+        for pid, snapshot, origin, meta in rec.pending:
+            if pid is None:
+                partitions.append(self._new_partition_from_blob(snapshot, origin, meta))
+            else:
+                partitions.append(Partition.from_blob(pid, snapshot, origin, meta))
+        self._ckpt = self._make_checkpointer(engine)
+        extra_payloads = [rec.store_payload] if rec.store_payload else []
+        if not partitions:
+            # Killed at/after drain: every partition was accepted; only
+            # the final commit is left to redo.
+            return self._assemble(
+                engine, [], list(rec.tests), set(rec.covered), start,
+                rec.streamed_paths, extra_payloads, rec.partition_results,
+            )
+        self._sched = PartitionScheduler(
+            engine.corpus_covered,
+            qt_table=lambda: (
+                engine.qce or analyze_module(module, self.config.qce_params)
+            ).qt_table(),
+            policy=par.dispatch,
+        )
+        transport = self._make_transport()
+        transport.start()
+        try:
+            entries, tests, covered, streamed, payloads, part_results = (
+                self._run_transport(partitions, transport)
+            )
+        finally:
+            transport.close()
+        return self._assemble(
+            engine, entries, tests, covered, start, streamed,
+            extra_payloads + payloads, part_results,
+        )
 
     def _assemble(
         self,
@@ -422,19 +714,33 @@ class Coordinator:
         store_payloads: list | None = None,
         partition_results: list | None = None,
     ) -> ParallelResult:
-        split_engine._sync_solver_stats()
-        ledger: list[LedgerEntry] = [
-            ("coordinator", split_engine.stats, split_engine.solver.stats)
-        ]
+        if self._split_ctx is not None:
+            # Frozen split-phase contribution (set once after the split,
+            # restored from the record on resume) — the same snapshot
+            # every checkpoint record carried, so a resumed run's ledger
+            # coordinator entry is byte-identical to the original's.
+            coord_entry, split_tests, split_covered, _ = self._split_ctx
+        else:
+            split_engine._sync_solver_stats()
+            coord_entry = (
+                "coordinator", split_engine.stats, split_engine.solver.stats
+            )
+            split_tests = list(split_engine.tests.cases)
+            split_covered = set(split_engine.coverage.covered)
+        # Prior-generation fleet entries (restored by a resume) sit
+        # between the coordinator and this run's workers: every accepted
+        # delta from every fleet generation is summed exactly once.
+        ledger: list[LedgerEntry] = [coord_entry]
+        ledger.extend(self._prior_entries)
         ledger.extend(worker_entries)
-        tests = TestSuite(self.spec, cases=list(split_engine.tests.cases) + worker_tests)
-        covered = set(split_engine.coverage.covered) | worker_covered
+        tests = TestSuite(self.spec, cases=list(split_tests) + worker_tests)
+        covered = set(split_covered) | worker_covered
         merged_stats = EngineStats.merged(entry[1] for entry in ledger)
         merged_solver = SolverStats.merged(entry[2] for entry in ledger)
         # Observed imbalance: how unevenly the completed-path work landed
         # across workers.  Recorded with the run (its snapshot goes into
         # the store) so the next adaptive split can level against it.
-        imbalance = _worker_imbalance(worker_entries)
+        imbalance = _worker_imbalance(self._prior_entries + worker_entries)
         merged_stats.sched_imbalance = max(merged_stats.sched_imbalance, imbalance)
         self._commit_store(
             split_engine, store_payloads or [], tests, merged_stats, merged_solver
@@ -456,8 +762,13 @@ class Coordinator:
             partition_factor=self._factor,
             imbalance=imbalance,
             partition_results=list(partition_results or []),
-            requeues=self.requeues,
+            requeues=list(self.requeue_log),
             workers_lost=self.workers_lost,
+            campaign_id=self.parallel.campaign_id,
+            checkpoint_epoch=self._ckpt.epoch if self._ckpt is not None else 0,
+            resumed_epoch=self._resumed_epoch,
+            restored_partitions=self._restored_partitions,
+            store_warning=self._store_warning,
         )
 
     def _commit_store(
@@ -475,35 +786,72 @@ class Coordinator:
         inserts, which are applied here together with the coordinator's
         own buffer, the merged run metadata (including the observed
         ``sched_imbalance``), and the full merged test suite.
+
+        The whole commit is one store transaction retried with bounded
+        backoff on SQLite lock contention (another process holding the
+        WAL write lock).  If the store stays locked past the retry
+        budget, the run *degrades* instead of failing: results are
+        returned complete, ``ParallelResult.store_warning`` names what
+        was lost (only the cross-run cache/corpus update).  On success
+        the campaign's checkpoint rows ride along in the same
+        transaction — a completed campaign is unresumable atomically
+        with its results becoming durable.
         """
         store = getattr(split_engine, "store", None)
         if store is None or store.readonly or split_engine._store_tier is None:
             return
-        from ..store import apply_payload, record_tests, spec_fingerprint
+        import sqlite3
 
-        run_id = store.record_run(
-            self.program,
-            spec_fingerprint(self.spec),
-            mode=(
-                f"{self.config.merging}/{self.config.similarity}/"
-                f"{self.config.strategy}/workers={self.parallel.workers}"
-            ),
-            wall_time=merged_engine.wall_time,
-            queries=merged_solver.queries,
-            sat_solver_runs=merged_solver.sat_solver_runs,
-            store_hits=merged_solver.store_hits,
-            cost_units=merged_solver.cost_units,
-            paths=merged_engine.paths_completed,
-            tests=merged_engine.tests_generated,
-            stats=merged_engine.snapshot(),
+        from ..store import (
+            apply_payload,
+            is_locked_error,
+            record_tests,
+            retry_locked,
+            spec_fingerprint,
         )
-        split_engine._store_tier.flush(run_id=run_id)
-        for payload in store_payloads:
-            if payload:
-                apply_payload(store, payload, run_id=run_id)
-        record_tests(
-            store, split_engine.module, self.program, self.spec, tests.cases, run_id
-        )
+
+        # Drain the tier buffer exactly once, outside the retried
+        # closure: a rollback must not lose it, a retry not re-drain it.
+        own_payload = split_engine._store_tier.export_pending()
+
+        def commit() -> None:
+            with store.transaction():
+                run_id = store.record_run(
+                    self.program,
+                    spec_fingerprint(self.spec),
+                    mode=(
+                        f"{self.config.merging}/{self.config.similarity}/"
+                        f"{self.config.strategy}/workers={self.parallel.workers}"
+                    ),
+                    wall_time=merged_engine.wall_time,
+                    queries=merged_solver.queries,
+                    sat_solver_runs=merged_solver.sat_solver_runs,
+                    store_hits=merged_solver.store_hits,
+                    cost_units=merged_solver.cost_units,
+                    paths=merged_engine.paths_completed,
+                    tests=merged_engine.tests_generated,
+                    stats=merged_engine.snapshot(),
+                )
+                for payload in [own_payload, *store_payloads]:
+                    if payload:
+                        apply_payload(store, payload, run_id=run_id)
+                record_tests(
+                    store, split_engine.module, self.program, self.spec,
+                    tests.cases, run_id,
+                )
+                if self._ckpt is not None:
+                    store.delete_campaign(self._ckpt.campaign)
+
+        try:
+            retry_locked(commit)
+        except sqlite3.OperationalError as exc:
+            if not is_locked_error(exc):
+                raise
+            self._store_warning = (
+                f"store commit skipped: {self.config.store_path!r} stayed "
+                f"locked past the retry budget ({exc}); results are "
+                "complete, only the cross-run cache/corpus update was lost"
+            )
         split_engine._store_committed = True
         split_engine.close_store()
 
@@ -569,10 +917,17 @@ class Coordinator:
         sched = self._sched
         leased = transport.leased
         directed = transport.directed
-        tests: list = []
-        covered: set = set()
-        streamed_paths = 0
-        partition_results: list = []
+        # A resume seeds the merge state with every result the record had
+        # already accepted — those partitions are never re-dispatched
+        # (their pids are simply absent from this run's queue).
+        rec = self._resume
+        tests: list = list(rec.tests) if rec is not None else []
+        covered: set = set(rec.covered) if rec is not None else set()
+        streamed_paths = rec.streamed_paths if rec is not None else 0
+        partition_results: list = (
+            list(rec.partition_results) if rec is not None else []
+        )
+        completions = 0  # accepted MSG_DONEs (checkpoint_every cadence)
         fenced: dict[int, str] = {}  # wid -> death reason
         assigned: dict[int, int] = {}  # wid -> pid of its in-flight lease
         started: set[int] = set()  # wids whose in-flight lease saw MSG_START
@@ -581,7 +936,11 @@ class Coordinator:
         # pid -> (retained frontier, interim results): the latest steal
         # checkpoint of a partially-stolen-from partition.
         residuals: dict[int, tuple] = {}
-        requeue_counts: dict[int, int] = {}
+        # pid -> lease-revocation generation (propagated to requeued
+        # descendants); restored on resume so the poison cap spans crashes.
+        requeue_counts: dict[int, int] = (
+            dict(rec.requeue_counts) if rec is not None else {}
+        )
         # Lease accounting: per-worker accepted stats deltas and the last
         # cumulative snapshot each delta was computed against.
         deltas: dict[int, list] = {}
@@ -620,19 +979,97 @@ class Coordinator:
             )
             last_cum[wid] = (estats, sstats)
 
-        def requeue(part: Partition, source_pid: int) -> None:
+        def requeue(part: Partition, source_pid: int, wid: int) -> None:
             nonlocal pending
             count = requeue_counts.get(source_pid, 0) + 1
             if count > par.max_partition_requeues:
-                raise WorkerCrashError(
-                    f"partition {source_pid} lease revoked {count} times "
-                    f"(origin {part.origin!r}); giving up on a partition "
-                    "that kills every owner"
-                )
+                # Poison: this subtree has killed every owner it was
+                # leased to.  Drop it with a named event instead of
+                # cycling forever — the campaign completes with a clean
+                # ledger for the survivors (the dropped subtree simply
+                # contributes no paths, like an exhausted budget).
+                self.requeue_log.append({
+                    "kind": "dropped",
+                    "pid": source_pid,
+                    "origin": part.origin,
+                    "worker": wid,
+                    "revocations": count,
+                    "reason": (
+                        f"lease revoked {count} times, more than "
+                        f"max_partition_requeues={par.max_partition_requeues}; "
+                        "partition presumed poison"
+                    ),
+                })
+                return
             requeue_counts[part.pid] = count
             self.requeues += 1
+            self.requeue_log.append({
+                "kind": "requeue",
+                "pid": part.pid,
+                "source_pid": source_pid,
+                "worker": wid,
+                "origin": part.origin,
+            })
             sched.push(part)
             pending += 1
+
+        def checkpoint(phase: str) -> None:
+            """Persist a campaign epoch from the loop's current state.
+
+            In-flight leases fold back to pending exactly as
+            :func:`handle_death` would fold them — full snapshot, or
+            steal-residual split into accepted interim results plus the
+            retained frontier — but on *transient copies*: the live loop
+            state is never mutated, the leases stay leased.  A resume
+            from this record therefore behaves as if every outstanding
+            worker had died at the instant of the crash, which is
+            exactly what a coordinator SIGKILL makes true.
+            """
+            if self._ckpt is None:
+                return
+            pend = [
+                (p.pid, p.snapshot, p.origin, p.sched_meta())
+                for p in sched.pending()
+            ]
+            ck_tests = list(tests)
+            ck_cov = set(covered)
+            ck_streamed = streamed_paths
+            ck_results = list(partition_results)
+            ck_deltas = {w: list(ds) for w, ds in deltas.items()}
+            owner = {pid: w for w, pid in assigned.items()}
+            for pid, part in outstanding.items():
+                wid = owner.get(pid)
+                residual = residuals.get(pid)
+                if residual is not None and wid is not None:
+                    retained, interim = residual
+                    i_tests, i_cov, i_paths, i_estats, i_sstats = interim
+                    ck_tests.extend(i_tests)
+                    ck_cov.update(i_cov)
+                    ck_streamed += i_paths
+                    ck_results.append((pid, part.origin, i_paths, i_cov))
+                    prev = last_cum.get(wid)
+                    ck_deltas.setdefault(wid, []).append((
+                        _engine_stats_delta(i_estats, prev[0] if prev else None),
+                        _solver_stats_delta(i_sstats, prev[1] if prev else None),
+                    ))
+                    for blob, meta in retained:
+                        pend.append((None, blob, f"requeue:{wid}", meta))
+                else:
+                    pend.append(
+                        (part.pid, part.snapshot, part.origin, part.sched_meta())
+                    )
+            fleet = [
+                (
+                    f"worker-{w}",
+                    EngineStats.merged(d[0] for d in ds),
+                    SolverStats.merged(d[1] for d in ds),
+                )
+                for w, ds in sorted(ck_deltas.items())
+            ]
+            self._save_checkpoint(
+                phase, pend, ck_tests, ck_cov, ck_streamed, ck_results,
+                dict(requeue_counts), fleet,
+            )
 
         def dispatch() -> None:
             nonlocal queued
@@ -703,12 +1140,13 @@ class Coordinator:
                         child = self._new_partition_from_blob(
                             blob, f"requeue:{wid}", meta
                         )
-                        requeue(child, pid)
+                        requeue(child, pid, wid)
                 else:
                     fresh = dataclasses.replace(
                         part, pid=self._alloc_pid(), origin=f"requeue:{wid}"
                     )
-                    requeue(fresh, pid)
+                    requeue(fresh, pid, wid)
+                checkpoint("requeue")
             if not alive_ids():
                 raise WorkerCrashError(
                     f"all {par.workers} workers lost; last was worker {wid} "
@@ -740,7 +1178,7 @@ class Coordinator:
                 started.add(wid)
                 steal_dry.discard(wid)
                 dispatch()
-                self._fault_event("start", wid, transport)
+                self._fault_event("start", wid, transport, pid)
             elif kind == MSG_DONE:
                 _, wid, pid, new_tests, new_cov, paths, estats, sstats = msg
                 if leased and assigned.get(wid) != pid:
@@ -755,8 +1193,11 @@ class Coordinator:
                 accept(pid, part.origin if part is not None else "?",
                        new_tests, new_cov, paths)
                 record_delta(wid, estats, sstats)
+                completions += 1
+                if completions % par.checkpoint_every == 0:
+                    checkpoint("dispatch")
                 dispatch()
-                self._fault_event("done", wid, transport)
+                self._fault_event("done", wid, transport, pid)
             elif kind == MSG_STOLEN:
                 _, wid, stolen, retained, interim = msg
                 steal_inflight.discard(wid)
@@ -770,6 +1211,8 @@ class Coordinator:
                     pending += 1
                 if leased and retained is not None and wid in assigned:
                     residuals[assigned[wid]] = (retained, interim)
+                if stolen:
+                    checkpoint("steal")
                 dispatch()
             elif kind == MSG_STATS:
                 # A worker only reports final stats at TASK_STOP; seeing
@@ -813,7 +1256,11 @@ class Coordinator:
 
         # Drain: stop every surviving worker and collect its final stats
         # message (which carries the buffered store inserts — the
-        # coordinator is the single store writer).
+        # coordinator is the single store writer).  The drain checkpoint
+        # has no pending partitions: a coordinator killed past this point
+        # resumes straight to the final store commit.
+        checkpoint("drain")
+        self._fault_event("drain", -1, transport)
         expected = list(alive_ids())
         for wid in expected:
             try:

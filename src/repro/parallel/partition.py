@@ -85,6 +85,20 @@ class Partition:
             depth=meta.get("depth", -1),
         )
 
+    def sched_meta(self) -> dict:
+        """This partition's metadata in :meth:`meta_of` wire form.
+
+        ``Partition.from_blob(pid, snapshot, origin, part.sched_meta())``
+        round-trips a partition without ever decoding its snapshot —
+        campaign checkpoints persist pending partitions this way.
+        """
+        return {
+            "prefix_len": self.prefix_len,
+            "func": self.func,
+            "block": self.block,
+            "depth": self.depth,
+        }
+
     @staticmethod
     def meta_of(state: SymState) -> dict:
         """Scheduling metadata of a live state, for the wire protocol."""

@@ -57,9 +57,18 @@ class WorkerSession:
         self._sock = sock
         self._send_lock = threading.Lock()
         self._closed = threading.Event()
+        # True only when the coordinator sent a genuine TASK_STOP frame
+        # (campaign over).  A synthetic stop injected on hangup leaves it
+        # False — that is the signal to re-dial a restarted coordinator.
+        self.clean_stop = False
         self.task_q: queue.SimpleQueue = queue.SimpleQueue()
         self.cmd_q: queue.SimpleQueue = queue.SimpleQueue()
         meta = {"pid": os.getpid(), "host": socket.gethostname()}
+        # The socket still carries the dial timeout here: a coordinator
+        # that accepted us into its TCP backlog but is not running its
+        # accept loop (mid-campaign) would otherwise park us in
+        # recv_frame forever.  Timing out turns that into one more
+        # retryable dial attempt.
         send_frame(sock, (MSG_HELLO, WIRE_VERSION, meta), self._send_lock)
         reply = recv_frame(sock)
         if reply[0] == MSG_REJECT:
@@ -69,6 +78,7 @@ class WorkerSession:
         _, self.wid, version, self.program, self.spec_payload, \
             self.config_payload = reply
         check_wire_version(version, "WELCOME handshake")
+        sock.settimeout(None)
         self._reader = threading.Thread(target=self._read_loop, daemon=True)
         self._reader.start()
         self._beat = threading.Thread(
@@ -101,6 +111,8 @@ class WorkerSession:
                 return
             tag = msg[0]
             if tag in (TASK_PARTITION, TASK_STOP):
+                if tag == TASK_STOP:
+                    self.clean_stop = True
                 self.task_q.put(msg)
                 if tag == TASK_STOP:
                     return
@@ -133,55 +145,81 @@ class WorkerSession:
 
 
 def connect(host: str, port: int, heartbeat_interval: float = 0.5,
-            retries: int = 0, retry_delay: float = 0.2) -> WorkerSession:
-    """Dial a coordinator, retrying while its listener comes up."""
+            retries: int = 0, retry_delay: float = 0.2,
+            max_delay: float = 5.0) -> WorkerSession:
+    """Dial a coordinator, with exponential backoff while its listener
+    comes up.
+
+    Workers may legally start *before* the coordinator (fleet first,
+    campaign second) and outlive one across a crash/resume boundary, so
+    "connection refused" is a scheduling race, not an error, until the
+    retry budget is spent.  The backoff doubles per attempt (capped at
+    ``max_delay``) with ±25% jitter so a fleet of workers re-dialing a
+    restarted coordinator does not stampede its accept loop in lockstep.
+    """
+    import random
+
     attempt = 0
     while True:
         try:
             sock = socket.create_connection((host, port), timeout=10.0)
-            sock.settimeout(None)
             return WorkerSession(sock, heartbeat_interval)
-        except ConnectionError:
+        except (ConnectionError, socket.timeout, EOFError):
             attempt += 1
             if attempt > retries:
                 raise
-            time.sleep(retry_delay)
+            delay = min(max_delay, retry_delay * (2 ** (attempt - 1)))
+            time.sleep(delay * (0.75 + random.random() / 2))
 
 
 def remote_worker_main(host: str, port: int, heartbeat_interval: float = 0.5,
                        retries: int = 0, retry_delay: float = 0.2) -> int:
-    """Serve one campaign as a remote worker; returns a process exit code."""
+    """Serve campaigns as a remote worker; returns a process exit code.
+
+    One dial serves one campaign; a *clean* TASK_STOP (campaign over)
+    exits 0.  A hangup without one — coordinator crashed or fenced us —
+    re-dials with the same backoff budget: a coordinator resuming the
+    campaign (``--resume``) comes back on the same address and the
+    worker rejoins its fleet with a fresh worker id.
+    """
     from ..parallel.worker import worker_main
 
-    try:
-        session = connect(host, port, heartbeat_interval, retries, retry_delay)
-    except ProtocolMismatchError as exc:
-        print(f"repro.remote worker: {exc}", file=sys.stderr)
-        return 2
-    except OSError as exc:
-        print(f"repro.remote worker: cannot reach {host}:{port}: {exc}",
-              file=sys.stderr)
-        return 1
-    try:
-        worker_main(
-            session.wid,
-            session.program,
-            session.spec_payload,
-            session.config_payload,
-            session.task_q,
-            session,  # result channel
-            session.cmd_q,
-            ship_residual=True,
-        )
-        return 0
-    except OSError:
+    while True:
+        try:
+            session = connect(host, port, heartbeat_interval, retries, retry_delay)
+        except ProtocolMismatchError as exc:
+            print(f"repro.remote worker: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"repro.remote worker: cannot reach {host}:{port}: {exc}",
+                  file=sys.stderr)
+            return 1
+        try:
+            worker_main(
+                session.wid,
+                session.program,
+                session.spec_payload,
+                session.config_payload,
+                session.task_q,
+                session,  # result channel
+                session.cmd_q,
+                ship_residual=True,
+            )
+            if session.clean_stop:
+                return 0
+        except OSError:
+            pass  # connection died mid-send; same as a hangup below
+        finally:
+            session.close()
         # Connection lost mid-campaign: the lease layer already treats us
-        # as dead and requeued our partition; nothing left to report.
-        print("repro.remote worker: connection to coordinator lost",
-              file=sys.stderr)
-        return 1
-    finally:
-        session.close()
+        # as dead and requeued our partition.  Re-dial — a resumed
+        # coordinator may be (re)binding the address right now.
+        if retries <= 0:
+            print("repro.remote worker: connection to coordinator lost",
+                  file=sys.stderr)
+            return 1
+        print("repro.remote worker: connection lost; re-dialing "
+              f"{host}:{port}", file=sys.stderr)
 
 
 def _spawned_worker(host: str, port: int, heartbeat_interval: float) -> None:

@@ -150,6 +150,15 @@ class PartitionScheduler:
             else ((), wid),
         )
 
+    def pending(self) -> list:
+        """Undispatched partitions in dispatch order, without draining.
+
+        Campaign checkpoints enumerate the queue through this — the heap
+        stays intact, and the deterministic order keeps checkpoint
+        records byte-stable for identical queue states.
+        """
+        return [item[2] for item in sorted(self._heap, key=lambda it: (it[0], it[1]))]
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -39,7 +39,14 @@ from .corpus import (
     replay_coverage,
     seed_query_cache,
 )
-from .db import ReproStore, StoreError, open_store, spec_fingerprint
+from .db import (
+    ReproStore,
+    StoreError,
+    is_locked_error,
+    open_store,
+    retry_locked,
+    spec_fingerprint,
+)
 from .tier import PersistentTier, apply_payload, decode_core
 
 __all__ = [
@@ -50,7 +57,9 @@ __all__ = [
     "corpus_coverage",
     "corpus_covered_blocks",
     "decode_core",
+    "is_locked_error",
     "open_store",
+    "retry_locked",
     "record_tests",
     "replay_coverage",
     "seed_query_cache",

@@ -26,9 +26,15 @@ import json
 import pickle
 import sqlite3
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 SCHEMA_VERSION = 1
+
+# How long a connection spins inside SQLite on a held write lock before
+# surfacing "database is locked" (satellite of the durable-campaign work:
+# checkpoint writers and late readers may briefly race).
+BUSY_TIMEOUT_MS = 5000
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -92,11 +98,50 @@ CREATE TABLE IF NOT EXISTS test_coverage (
     tests INTEGER NOT NULL DEFAULT 1,
     PRIMARY KEY (program, func, block)
 );
+CREATE TABLE IF NOT EXISTS checkpoints (
+    campaign TEXT NOT NULL,
+    epoch INTEGER NOT NULL,
+    phase TEXT NOT NULL,
+    created REAL NOT NULL,
+    state BLOB NOT NULL,
+    PRIMARY KEY (campaign, epoch)
+);
+CREATE TABLE IF NOT EXISTS checkpoint_blobs (
+    campaign TEXT NOT NULL,
+    epoch INTEGER NOT NULL,
+    hash TEXT NOT NULL REFERENCES blobs(hash),
+    PRIMARY KEY (campaign, epoch, hash)
+);
 """
 
 
 class StoreError(Exception):
     """The store file is missing, unreadable, or version-incompatible."""
+
+
+def is_locked_error(exc: BaseException) -> bool:
+    """True for SQLite's transient lock/busy contention errors."""
+    return isinstance(exc, sqlite3.OperationalError) and any(
+        marker in str(exc).lower() for marker in ("locked", "busy")
+    )
+
+
+def retry_locked(fn, attempts: int = 5, base_delay: float = 0.05):
+    """Call ``fn()``; on ``database is locked``/``busy`` retry with
+    exponential backoff (bounded — the last failure propagates).
+
+    Only lock contention is retried: any other error, and the final
+    locked error once the budget is spent, surface to the caller, who
+    decides whether to degrade gracefully (the parallel coordinator
+    returns results with a ``store_warning``) or raise.
+    """
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except sqlite3.OperationalError as exc:
+            if not is_locked_error(exc) or attempt == attempts - 1:
+                raise
+            time.sleep(base_delay * (2**attempt))
 
 
 def spec_fingerprint(spec) -> str:
@@ -113,21 +158,34 @@ class ReproStore:
 
     The writer runs in autocommit-per-batch mode: every public mutation
     commits before returning, so a crash never leaves readers behind a
-    long-lived transaction.
+    long-lived transaction.  :meth:`transaction` opts a group of
+    mutations out of that — they commit (or roll back) as one unit,
+    which is what campaign checkpoints and the coordinator's end-of-run
+    commit use to stay crash-atomic.
     """
 
     def __init__(self, path: str | Path, readonly: bool = False):
         self.path = str(path)
         self.readonly = readonly
+        # >0 while inside transaction(): mutations defer their commit to
+        # the context exit, making the whole group atomic.
+        self._txn_depth = 0
         if readonly:
             uri = f"file:{Path(self.path).as_posix()}?mode=ro"
             try:
                 self.conn = sqlite3.connect(uri, uri=True)
             except sqlite3.OperationalError as exc:
                 raise StoreError(f"cannot open store {self.path!r} read-only") from exc
+            self.conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         else:
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
             self.conn = sqlite3.connect(self.path)
+            # WAL keeps readers (workers, a resuming coordinator peeking
+            # at checkpoints) unblocked while the single writer commits;
+            # the busy timeout absorbs brief lock races before the
+            # retry_locked layer even sees them.
+            self.conn.execute("PRAGMA journal_mode=WAL")
+            self.conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
             self.conn.executescript(_SCHEMA)
             self.conn.execute(
                 "INSERT OR IGNORE INTO meta(key, value) VALUES ('schema_version', ?)",
@@ -173,6 +231,37 @@ class ReproStore:
         )
         self.conn.commit()
 
+    def _commit(self) -> None:
+        """Commit unless grouped under :meth:`transaction`."""
+        if self._txn_depth == 0:
+            self.conn.commit()
+
+    @contextmanager
+    def transaction(self):
+        """Group several public mutations into one atomic commit.
+
+        Inside the context every mutation defers its per-batch commit;
+        the context exit commits once (or rolls everything back on an
+        exception), so a crash — or a retried ``database is locked`` —
+        never leaves a half-applied group behind.  Checkpoint epochs and
+        the coordinator's end-of-run commit rely on this: the newest
+        checkpoint row in the file is always a *complete* epoch.
+        """
+        if self.readonly:
+            raise StoreError("read-only store cannot open a write transaction")
+        self._txn_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self.conn.rollback()
+            raise
+        else:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self.conn.commit()
+
     def close(self) -> None:
         self.conn.close()
 
@@ -212,7 +301,7 @@ class ReproStore:
                 for key, is_sat, model in rows
             ],
         )
-        self.conn.commit()
+        self._commit()
         return self.conn.total_changes - before
 
     def constraint_count(self) -> int:
@@ -234,6 +323,103 @@ class ReproStore:
             "SELECT data FROM blobs WHERE hash = ?", (digest,)
         ).fetchone()
         return None if row is None else row[0]
+
+    # -- campaign checkpoints --------------------------------------------------
+
+    def put_checkpoint(
+        self,
+        campaign: str,
+        epoch: int,
+        phase: str,
+        state: bytes,
+        blob_hashes,
+        keep: int = 2,
+    ) -> None:
+        """Write one campaign-checkpoint epoch atomically.
+
+        The record row, its snapshot-blob references, and the epoch GC
+        (drop everything older than the newest ``keep`` epochs, then
+        sweep blobs only those epochs referenced) land in **one**
+        transaction — a coordinator SIGKILLed mid-write rolls the whole
+        epoch back, so the newest row in the table is always a complete,
+        consistent epoch.  Snapshot blobs are content-addressed in the
+        shared ``blobs`` table: identical pending partitions across
+        consecutive epochs are stored once.
+        """
+        if self.readonly:
+            raise StoreError("read-only store cannot accept checkpoints")
+        with self.transaction():
+            self.conn.execute(
+                "INSERT OR REPLACE INTO checkpoints"
+                "(campaign, epoch, phase, created, state) VALUES (?, ?, ?, ?, ?)",
+                (campaign, epoch, phase, time.time(), state),
+            )
+            self.conn.executemany(
+                "INSERT OR IGNORE INTO checkpoint_blobs(campaign, epoch, hash)"
+                " VALUES (?, ?, ?)",
+                [(campaign, epoch, h) for h in blob_hashes],
+            )
+            self._gc_checkpoint_epochs(campaign, epoch - max(keep, 1))
+
+    def iter_checkpoints(self, campaign: str) -> list[tuple[int, str, bytes]]:
+        """``(epoch, phase, state)`` rows for a campaign, newest first."""
+        try:
+            return self.conn.execute(
+                "SELECT epoch, phase, state FROM checkpoints"
+                " WHERE campaign = ? ORDER BY epoch DESC",
+                (campaign,),
+            ).fetchall()
+        except sqlite3.OperationalError:
+            # Read-only open of a store that predates the table.
+            return []
+
+    def checkpoint_epochs(self, campaign: str) -> list[int]:
+        return [epoch for epoch, _, _ in reversed(self.iter_checkpoints(campaign))]
+
+    def campaign_ids(self) -> list[str]:
+        """Campaigns with at least one live checkpoint (i.e. resumable)."""
+        try:
+            rows = self.conn.execute(
+                "SELECT DISTINCT campaign FROM checkpoints ORDER BY campaign"
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return []
+        return [row[0] for row in rows]
+
+    def delete_campaign(self, campaign: str) -> None:
+        """Drop every epoch of a finished campaign and sweep its blobs."""
+        if self.readonly:
+            raise StoreError("read-only store cannot delete campaigns")
+        with self.transaction():
+            self._gc_checkpoint_epochs(campaign, None)
+
+    def _gc_checkpoint_epochs(self, campaign: str, max_dead: int | None) -> None:
+        """Drop epochs ``<= max_dead`` (all of them when ``None``) plus any
+        snapshot blob no surviving row references.  Caller holds the
+        transaction."""
+        if max_dead is None:
+            cond, params = "campaign = ?", (campaign,)
+        else:
+            if max_dead < 1:
+                return
+            cond, params = "campaign = ? AND epoch <= ?", (campaign, max_dead)
+        doomed = [
+            row[0]
+            for row in self.conn.execute(
+                f"SELECT DISTINCT hash FROM checkpoint_blobs WHERE {cond}", params
+            )
+        ]
+        self.conn.execute(f"DELETE FROM checkpoint_blobs WHERE {cond}", params)
+        self.conn.execute(f"DELETE FROM checkpoints WHERE {cond}", params)
+        for digest in doomed:
+            self.conn.execute(
+                "DELETE FROM blobs WHERE hash = ?"
+                " AND hash NOT IN (SELECT hash FROM checkpoint_blobs)"
+                " AND hash NOT IN"
+                "  (SELECT coverage_hash FROM tests WHERE coverage_hash IS NOT NULL)"
+                " AND hash NOT IN (SELECT blob_hash FROM unsat_cores)",
+                (digest,),
+            )
 
     # -- UNSAT cores ----------------------------------------------------------
 
@@ -257,7 +443,7 @@ class ReproStore:
                     " WHERE program IS ? AND blob_hash = ?",
                     (run_id, program, digest),
                 )
-        self.conn.commit()
+        self._commit()
         return inserted
 
     def iter_cores(self, program: str | None, limit: int = 256) -> list[bytes]:
@@ -310,7 +496,7 @@ class ReproStore:
                 json.dumps(stats) if stats is not None else None,
             ),
         )
-        self.conn.commit()
+        self._commit()
         return cur.lastrowid
 
     def run_rows(self, program: str | None = None) -> list[tuple]:
@@ -380,7 +566,7 @@ class ReproStore:
                     (run_id, program, spec, kind, path_id,
                      line if line is not None else -1),
                 )
-        self.conn.commit()
+        self._commit()
         return inserted
 
     def iter_tests(self, program: str, spec: str | None = None) -> list[dict]:
@@ -489,6 +675,9 @@ class ReproStore:
             "tests": self.test_count(),
             "runs": self.conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0],
             "blobs": self.conn.execute("SELECT COUNT(*) FROM blobs").fetchone()[0],
+            "checkpoints": self.conn.execute(
+                "SELECT COUNT(*) FROM checkpoints"
+            ).fetchone()[0],
         }
 
     # -- garbage collection ----------------------------------------------------
@@ -537,6 +726,7 @@ class ReproStore:
             "DELETE FROM blobs WHERE hash NOT IN"
             " (SELECT coverage_hash FROM tests WHERE coverage_hash IS NOT NULL)"
             " AND hash NOT IN (SELECT blob_hash FROM unsat_cores)"
+            " AND hash NOT IN (SELECT hash FROM checkpoint_blobs)"
         )
         deleted["blobs"] = cur.rowcount
         if deleted.get("tests"):

@@ -128,6 +128,18 @@ class PersistentTier:
         self._pending_cores.clear()
         return payload
 
+    def peek_pending(self) -> dict:
+        """Non-destructive copy of the insert buffer, same shape as
+        :meth:`export_pending` — campaign checkpoints persist the split
+        engine's buffer without disturbing the eventual flush."""
+        return {
+            "constraints": [
+                (key, is_sat, model) for key, (is_sat, model) in self._pending.items()
+            ],
+            "cores": list(self._pending_cores),
+            "program": self.program,
+        }
+
     def flush(self, store: ReproStore | None = None, run_id: int | None = None) -> int:
         """Apply the buffer through ``store`` (default: our own, if writable)."""
         target = store if store is not None else (self.store if self.writable else None)

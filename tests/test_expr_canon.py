@@ -19,7 +19,7 @@ the rename round trip.
 
 import itertools
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.expr import ops
@@ -78,6 +78,22 @@ def _instantiate(template, names):
 
 @settings(max_examples=60, deadline=None)
 @given(template=_set_template(_ALL_BV_OPS, _ALL_CMPS))
+# Regressions: WL refinement used to leave var 1 and var 2 tied (their
+# parent adds have identical colored digests), so the canonical order fell
+# to the name-dependent commutative operand orientation and the key
+# flickered across rebuilds.  Fixed by the top-down context pass
+# (repro.expr.canon._context_sigs).
+@example(
+    template=[('eq',
+               ('add', ('var', 0), ('add', ('var', 2), ('var', 0))),
+               ('add', ('var', 0), ('var', 1)))],
+)
+@example(
+    template=[('ult', ('var', 0), ('var', 0)),
+              ('eq',
+               ('add', ('var', 0), ('var', 1)),
+               ('add', ('var', 0), ('add', ('var', 2), ('var', 0))))],
+)
 def test_cross_process_rebuild_same_key(template):
     """Fresh names, same construction order — the warm-start situation."""
     first = _instantiate(template, _fresh_names())

@@ -248,7 +248,7 @@ def test_socket_two_workers_matches_sequential():
     par.check_ledger()
     assert par.partitions > 0
     assert len(par.ledger) == 3  # coordinator + 2 workers
-    assert par.requeues == 0 and par.workers_lost == 0
+    assert par.requeue_count == 0 and par.workers_lost == 0
     assert par.paths == seq.paths
     assert suite_multiset(par) == suite_multiset(seq)
     assert par.covered == seq.covered
