@@ -32,6 +32,7 @@ from ..lang.cfg import (
     TJmp,
     TRet,
 )
+from ..lang.compile import compile_block
 from ..lang.types import Array2DType, ArrayType
 from ..qce.qce import QceAnalysis, QceParams, analyze_module
 from ..solver.portfolio import IncrementalChain, SolverChain
@@ -90,6 +91,13 @@ class EngineConfig:
     store_path: str | None = None
     store_readonly: bool = False
     warm_start: bool = True
+    # Block-lowering tier (repro.lang.compile): compile the straight-line
+    # prefix of hot blocks to Python closures.  Observation-equivalent by
+    # construction (compiled code bails to the interpreter at the first
+    # symbolic operand); the knob exists for ablation and debugging.
+    lowering_enabled: bool = True
+    # Blocks become compile candidates after this many executions.
+    lowering_threshold: int = 8
 
 
 class Engine:
@@ -128,6 +136,11 @@ class Engine:
         self.exact_path_samples: list[tuple[int, int]] = []
         # Terminal states, retained only when config.keep_terminal_states.
         self.terminal_states: list[SymState] = []
+        # Lowering tier: (func, block) -> CompiledBlock, or None when the
+        # block has no compilable prefix.  Candidates are picked by heat —
+        # the strategy's pick counter when it keeps one, else a local count.
+        self._compiled: dict[tuple[str, str], object] = {}
+        self._block_heat: dict[tuple[str, str], int] = {}
 
         self.qce: QceAnalysis | None = None
         if self.config.similarity in ("qce", "qce-full"):
@@ -601,6 +614,16 @@ class Engine:
         state.steps += 1
 
         instrs = block.instrs
+        if self.config.lowering_enabled and frame.idx == 0 and instrs:
+            compiled = self._lookup_compiled(frame.func, frame.block, block)
+            if compiled is not None:
+                ran = compiled.run(state)
+                if ran:
+                    frame.idx = ran
+                    self.stats.instructions_executed += ran
+                    self.stats.compiled_steps += ran
+                if ran < compiled.prefix_len:
+                    self.stats.compiled_bailouts += 1
         while frame.idx < len(instrs):
             instr = instrs[frame.idx]
             self.stats.instructions_executed += 1
@@ -637,6 +660,25 @@ class Engine:
             code = state.eval_expr(term.code) if term.code is not None else ops.bv(0, 32)
             return [self._halt(state, code)]
         raise RuntimeError(f"block {frame.block} in {frame.func} lacks a terminator")
+
+    def _lookup_compiled(self, func: str, label: str, block):
+        """Compiled prefix for a hot block, or None (cold / uncompilable)."""
+        key = (func, label)
+        compiled = self._compiled.get(key)
+        if compiled is None and key not in self._compiled:
+            pick_counts = getattr(self.strategy, "pick_counts", None)
+            if pick_counts is not None:
+                heat = pick_counts.get(key, 0)
+            else:
+                heat = self._block_heat.get(key, 0) + 1
+                self._block_heat[key] = heat
+            if heat < self.config.lowering_threshold:
+                return None
+            compiled = compile_block(block)
+            self._compiled[key] = compiled
+            if compiled is not None:
+                self.stats.blocks_compiled += 1
+        return compiled
 
     def _after_move(self, state: SymState) -> list[SymState]:
         self._record_history(state)

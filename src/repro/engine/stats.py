@@ -16,6 +16,13 @@ class EngineStats:
 
     blocks_executed: int = 0
     instructions_executed: int = 0
+    # Lowering tier (repro.lang.compile): blocks whose straight-line prefix
+    # was compiled, instructions retired by compiled code (a subset of
+    # instructions_executed), and compiled runs that bailed back to the
+    # interpreter before finishing their prefix.
+    blocks_compiled: int = 0
+    compiled_steps: int = 0
+    compiled_bailouts: int = 0
     forks: int = 0
     branch_queries: int = 0
     merges: int = 0

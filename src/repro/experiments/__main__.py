@@ -80,8 +80,29 @@ def main(argv: list[str] | None = None) -> int:
                         help="store-gc: path of the persistent store to compact")
     parser.add_argument("--keep-runs", type=int, default=16, metavar="N",
                         help="store-gc: age out rows older than the newest N runs")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 20 functions"
+                             " by cumulative time")
     args = parser.parse_args(argv)
 
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _dispatch(args, parser)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative")
+            print("===== profile (top 20 by cumulative time) =====")
+            stats.print_stats(20)
+    return _dispatch(args, parser)
+
+
+def _dispatch(args, parser) -> int:
     if args.figure == "bench":
         from .bench import diff_against, run_bench
 

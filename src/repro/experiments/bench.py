@@ -26,7 +26,7 @@ import time
 from ..expr import ops
 from ..solver.bitblast import check_sat
 from ..solver.portfolio import IncrementalChain, SolverChain
-from ..solver.sat import CDCLSolver
+from ..solver.sat import CDCLSolver, make_solver
 from .harness import RunSettings, cost_of, run_cell
 
 # Merge-heavy cells: the DSM/SSM mini corpus the presolve ablation targets.
@@ -120,13 +120,116 @@ def _micro_solver_rows() -> list[dict]:
     return rows
 
 
+# Source of the stepping micro-kernel: a purely concrete loop, so every
+# block is compiled by the lowering tier after it turns hot.  The lowered
+# vs interpreted rows pin the compiled-stepping speedup.
+_STEP_LOOP_SRC = """
+int main(int argc, char argv[][]) {
+  int i; int j; int acc;
+  acc = 0;
+  for (i = 0; i < 2000; i = i + 1) {
+    j = i * 7 + 3;
+    acc = acc + (j & 63) - (j % 5) + (j / 9);
+  }
+  return acc;
+}
+"""
+
+
+def _stepping_rows() -> list[dict]:
+    """Interpreter-vs-lowered stepping and raw solver-kernel micro-benchmarks."""
+    from ..engine.executor import EngineConfig
+    from ..env.argv import ArgvSpec
+    from ..env.runner import run_symbolic_module
+    from ..lang import compile_program
+
+    rows: list[dict] = []
+    module = compile_program(_STEP_LOOP_SRC)
+    spec = ArgvSpec(n_args=1, arg_len=2)
+    for label, lowered in (("lowered", True), ("interp", False)):
+        config = EngineConfig(merging="none", strategy="dfs", generate_tests=False,
+                              lowering_enabled=lowered)
+        t, result = _timed(
+            lambda config=config: run_symbolic_module(module, spec, config)
+        )
+        rows.append(
+            {
+                "name": f"engine_step_loop_{label}",
+                "wall_s": round(t, 4),
+                "instructions": result.stats.instructions_executed,
+                "compiled_steps": result.stats.compiled_steps,
+                "blocks_compiled": result.stats.blocks_compiled,
+            }
+        )
+
+    def bcp_pigeonhole():
+        holes = 6
+        pigeons = holes + 1
+        solver = make_solver()
+        var = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for p in range(pigeons):
+            solver.add_clause([var[p][h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[p1][h], -var[p2][h]])
+        solver.solve()
+        return solver
+
+    t, solver = _timed(bcp_pigeonhole)
+    rows.append(
+        {
+            "name": "cdcl_bcp_pigeonhole_php7_6",
+            "wall_s": round(t, 4),
+            "bcp_props": solver.stats_bcp_props,
+            "propagations": solver.stats_propagations,
+            "conflicts": solver.stats_conflicts,
+        }
+    )
+
+    def presolve_deep_ite():
+        chain = IncrementalChain(use_cache=False)
+        x = ops.bv_var("px", 8)
+        acc = ops.bv(0, 8)
+        for k in range(24):
+            acc = ops.ite(
+                ops.ult(x, ops.bv(200 - k, 8)), ops.add(acc, ops.bv(1, 8)), acc
+            )
+        pc = [ops.ult(ops.bv(3, 8), x)]
+        for k in range(12):
+            chain.check(pc + [ops.ule(acc, ops.bv(30 - k, 8))])
+            pc = pc + [ops.ult(ops.bv(4 + k, 8), x)]
+        return chain
+
+    t, chain = _timed(presolve_deep_ite)
+    rows.append(
+        {
+            "name": "presolve_fixpoint_deep_ite",
+            "wall_s": round(t, 4),
+            "queries": chain.stats.queries,
+            "fastpath_hits": chain.stats.fastpath_hits,
+            "cost_units": chain.stats.cost_units,
+            "presolve_batch_rounds": chain.stats.presolve_batch_rounds,
+        }
+    )
+    return rows
+
+
 def _engine_cell_rows(scale: str) -> list[dict]:
     cap = 20000 if scale == "ci" else 120000
     rows: list[dict] = []
     for program, mode in ENGINE_CELLS:
-        result = run_cell(
-            RunSettings(program=program, mode=mode, max_steps=cap, generate_tests=True)
-        )
+        # Median-of-3 wall clock; the deterministic counters are identical
+        # across repeats, so the last run's result serves for all of them.
+        walls = []
+        for _ in range(3):
+            result = run_cell(
+                RunSettings(
+                    program=program, mode=mode, max_steps=cap, generate_tests=True
+                )
+            )
+            walls.append(result.stats.wall_time)
+        median_wall = sorted(walls)[1]
         s = result.solver_stats
         hits = s.presolve_hits_sat + s.presolve_hits_unsat
         # Hit rate over bottom-tier-bound group checks: presolve answers
@@ -136,7 +239,7 @@ def _engine_cell_rows(scale: str) -> list[dict]:
             {
                 "program": program,
                 "mode": mode,
-                "wall_s": round(result.stats.wall_time, 4),
+                "wall_s": round(median_wall, 4),
                 "paths": result.paths,
                 "tests": len(result.tests.cases),
                 "queries": s.queries,
@@ -190,11 +293,11 @@ def run_bench(out_path: str = "BENCH_PR5.json", scale: str = "ci") -> dict:
     from .figures import presolve_ablation
 
     start = time.perf_counter()
-    micro = _micro_solver_rows()
+    micro = _micro_solver_rows() + _stepping_rows()
     cells = _engine_cell_rows(scale)
     ablation = presolve_ablation(scale=scale)
     doc = {
-        "bench": "PR5 scheduler baseline",
+        "bench": "PR10 batch-and-compile baseline",
         "scale": scale,
         "python": platform.python_version(),
         "platform": platform.platform(),

@@ -62,6 +62,9 @@ class RunSettings:
     # nothing.  The sched ablation uses this so its measured runs all see
     # the identical corpus evidence.
     store_readonly: bool = False
+    # Block-lowering tier (repro.lang.compile); off = pure interpreter,
+    # the ablation baseline for the compiled-stepping speedup.
+    lowering_enabled: bool = True
 
 
 def settings_to_spec_config(settings: RunSettings) -> tuple[ArgvSpec, EngineConfig]:
@@ -94,6 +97,7 @@ def settings_to_spec_config(settings: RunSettings) -> tuple[ArgvSpec, EngineConf
         store_path=settings.store_path,
         store_readonly=settings.store_readonly,
         warm_start=settings.warm_start,
+        lowering_enabled=settings.lowering_enabled,
     )
     return spec, config
 

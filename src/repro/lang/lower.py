@@ -636,6 +636,27 @@ class _FunctionLowerer:
         return fn
 
 
+# Instruction types the block-lowering tier (repro.lang.compile) can fuse
+# into a straight-line compiled prefix.  ICall transfers control (new frame)
+# and terminators need engine-side branching, so both end the prefix.
+_STRAIGHTLINE = (IAssign, ILoad, IStore, IPutc, IAssert)
+
+
+def straightline_prefix(block: Block) -> int:
+    """Length of the leading run of straight-line instructions in ``block``.
+
+    This is the structural half of the lowering tier's compilability check;
+    ``repro.lang.compile`` may stop earlier when an expression inside the
+    prefix uses an unsupported shape.
+    """
+    n = 0
+    for instr in block.instrs:
+        if not isinstance(instr, _STRAIGHTLINE):
+            break
+        n += 1
+    return n
+
+
 def lower_program(program: A.Program, source_name: str = "<module>") -> Module:
     """Lower a parsed program to a CFG module."""
     ctx = _ModuleCtx()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from ..expr import nodes as N
 from ..expr.nodes import Expr
-from .sat import CDCLSolver, SatResult
+from .sat import SatResult, make_solver
 
 
 class BitBlaster:
@@ -30,7 +30,7 @@ class BitBlaster:
     """
 
     def __init__(self, max_learned: int | None = 4000) -> None:
-        self.sat = CDCLSolver(max_learned=max_learned)
+        self.sat = make_solver(max_learned=max_learned)
         self.true_lit = self.sat.new_var()
         self.sat.add_clause([self.true_lit])
         self._bool_cache: dict[int, int] = {}
@@ -132,6 +132,15 @@ class BitBlaster:
 
     def g_maj(self, a: int, b: int, c: int) -> int:
         """Majority-of-three (full-adder carry)."""
+        # A false input reduces majority to AND of the others; the nested
+        # or/and calls below fold to exactly that gate, so short-circuit.
+        false = -self.true_lit
+        if c == false:
+            return self.g_and(a, b)
+        if b == false:
+            return self.g_and(a, c)
+        if a == false:
+            return self.g_and(b, c)
         return self.g_or(self.g_and(a, b), self.g_or(self.g_and(a, c), self.g_and(b, c)))
 
     # -- vector primitives ----------------------------------------------------
@@ -140,9 +149,18 @@ class BitBlaster:
         return [self._const(bool((value >> i) & 1)) for i in range(width)]
 
     def vec_add(self, a: list[int], b: list[int], carry_in: int | None = None) -> list[int]:
-        carry = carry_in if carry_in is not None else self._const(False)
+        false = self._const(False)
+        carry = carry_in if carry_in is not None else false
         out: list[int] = []
         for ai, bi in zip(a, b):
+            # Half-adder-with-zero rows fold completely; skip the gate
+            # calls (emits exactly what the xor/maj folds would: nothing).
+            if carry == false and bi == false:
+                out.append(ai)
+                continue
+            if carry == false and ai == false:
+                out.append(bi)
+                continue
             axb = self.g_xor(ai, bi)
             out.append(self.g_xor(axb, carry))
             carry = self.g_maj(ai, bi, carry)
@@ -156,9 +174,16 @@ class BitBlaster:
 
     def vec_mul(self, a: list[int], b: list[int]) -> list[int]:
         width = len(a)
+        false = self._const(False)
         acc = self.vec_const(0, width)
         for j in range(width):
-            partial = [self._const(False)] * j + [self.g_and(b[j], a[i]) for i in range(width - j)]
+            if b[j] == false:
+                # All-zero partial: adding it emits no gates and returns
+                # ``acc`` bit for bit (xor/maj fold), so skip the row.
+                # Constant multipliers (divmod side-conditions, scaled
+                # indices) collapse to popcount-many adds this way.
+                continue
+            partial = [false] * j + [self.g_and(b[j], a[i]) for i in range(width - j)]
             acc = self.vec_add(acc, partial)
         return acc
 
@@ -214,6 +239,10 @@ class BitBlaster:
         and the SMT-LIB division-by-zero convention otherwise.
         """
         width = len(num)
+        true = self.true_lit
+        if all(b == true or b == -true for b in den):
+            d = sum(1 << i for i, b in enumerate(den) if b == true)
+            return self._divmod_const(num, d)
         q = [self.sat.new_var() for _ in range(width)]
         r = [self.sat.new_var() for _ in range(width)]
         zero = self.vec_const(0, width)
@@ -234,6 +263,46 @@ class BitBlaster:
         self.sat.add_clause([den_nonzero, q_ones])
         self.sat.add_clause([den_nonzero, r_num])
         return q, r
+
+    def _divmod_const(self, num: list[int], d: int) -> tuple[list[int], list[int]]:
+        """Unsigned divmod by the known constant ``d``.
+
+        Division by zero keeps the SMT-LIB convention structurally (no
+        constraints at all); powers of two are pure wiring.  Otherwise the
+        multiplication side-condition is checked at width
+        ``w + d.bit_length()`` — wide enough that ``q*d + r`` cannot wrap
+        (``q*d + r <= (2^w - 1)*d + d - 1 < 2^(w + bitlen d)``), so the
+        fresh ``q`` and the ``bitlen(d)``-bit ``r`` are pinned uniquely.
+        Far fewer variables and clauses than the generic double-width
+        circuit, which matters because constant divisors (print routines'
+        division by 10) dominate real queries.
+        """
+        width = len(num)
+        false = -self.true_lit
+        if d == 0:
+            return self.vec_const((1 << width) - 1, width), list(num)
+        if d & (d - 1) == 0:
+            k = d.bit_length() - 1
+            return num[k:] + [false] * k, num[:k] + [false] * (width - k)
+        # MSB-first restoring long division.  The remainder register needs
+        # only ``bitlen(d)`` bits (the invariant r < d holds after every
+        # step), so each step is a narrow compare-and-subtract against the
+        # constant.  Every quotient/remainder bit is a *defined* gate — BCP
+        # computes them forward with no decisions, unlike the free-variable
+        # side-condition, whose q/r guesses cost conflicts per query.
+        rb = d.bit_length()
+        d_step = self.vec_const(d, rb + 1)
+        r = [false] * rb
+        q = [false] * width
+        for i in range(width - 1, -1, -1):
+            shifted = [num[i]] + r  # (r << 1) | num[i], rb+1 bits
+            ge = -self.vec_ult(shifted, d_step)
+            sub = self.vec_sub(shifted, d_step)
+            q[i] = ge
+            # The top bit is always 0 after the conditional subtract
+            # (value < d <= 2^rb - 1), so the register stays rb bits.
+            r = self.vec_ite(ge, sub[:rb], shifted[:rb])
+        return q, r + [false] * (width - rb)
 
     def divmod_cached(self, a: Expr, b: Expr) -> tuple[list[int], list[int]]:
         key = (a.eid, b.eid)
@@ -430,7 +499,7 @@ class BitBlaster:
 
 def check_sat(
     assertions: list[Expr], conflict_budget: int | None = None
-) -> tuple[bool, dict[str, int] | None, CDCLSolver]:
+) -> tuple[bool, dict[str, int] | None, object]:
     """Blast + solve a conjunction of boolean expressions from scratch.
 
     Returns (is_sat, model_or_None, sat_solver_for_stats).

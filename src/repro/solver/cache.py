@@ -17,6 +17,11 @@ from collections import OrderedDict
 from ..expr.evaluate import EvalError, evaluate
 from ..expr.nodes import Expr
 
+# Sentinels for the per-model evaluation memo: distinguishable from any
+# genuine evaluate() result (ints, including 0).
+_MISSING = object()
+_EVAL_ERROR = object()
+
 
 class QueryCache:
     """Bounded cache of solver verdicts keyed by canonical constraint sets."""
@@ -27,6 +32,12 @@ class QueryCache:
         )
         self._recent_models: OrderedDict[int, dict[str, int]] = OrderedDict()
         self._model_counter = 0
+        # (model id -> (expr eid -> evaluate() result)): path conditions
+        # grow one conjunct at a time, so successive model-reuse scans
+        # re-evaluate almost the same constraints against almost the same
+        # models.  evaluate() is pure, so memoizing per (model, expr) is
+        # observation-equivalent; memos die with their model's eviction.
+        self._eval_cache: dict[int, dict[int, object]] = {}
         self._unsat_sets: OrderedDict[frozenset[int], None] = OrderedDict()
         self.max_entries = max_entries
         self.max_models = max_models
@@ -52,13 +63,26 @@ class QueryCache:
             if unsat_key <= key:
                 self.hits_subset_unsat += 1
                 return (False, None)
-        for model in reversed(self._recent_models.values()):
-            try:
-                if all(evaluate(c, model) for c in constraints):
-                    self.hits_model_reuse += 1
-                    return (True, model)
-            except EvalError:
-                continue
+        eval_cache = self._eval_cache
+        for mid, model in reversed(self._recent_models.items()):
+            memo = eval_cache.get(mid)
+            if memo is None:
+                memo = eval_cache[mid] = {}
+            satisfied = True
+            for c in constraints:
+                val = memo.get(c.eid, _MISSING)
+                if val is _MISSING:
+                    try:
+                        val = evaluate(c, model)
+                    except EvalError:
+                        val = _EVAL_ERROR
+                    memo[c.eid] = val
+                if val is _EVAL_ERROR or not val:
+                    satisfied = False
+                    break
+            if satisfied:
+                self.hits_model_reuse += 1
+                return (True, model)
         self.misses += 1
         return None
 
@@ -71,7 +95,8 @@ class QueryCache:
             self._model_counter += 1
             self._recent_models[self._model_counter] = model
             if len(self._recent_models) > self.max_models:
-                self._recent_models.popitem(last=False)
+                evicted, _ = self._recent_models.popitem(last=False)
+                self._eval_cache.pop(evicted, None)
         elif not is_sat:
             self._unsat_sets[key] = None
             if len(self._unsat_sets) > self.max_unsat_sets:
@@ -89,12 +114,14 @@ class QueryCache:
         self._model_counter += 1
         self._recent_models[self._model_counter] = dict(model)
         if len(self._recent_models) > self.max_models:
-            self._recent_models.popitem(last=False)
+            evicted, _ = self._recent_models.popitem(last=False)
+            self._eval_cache.pop(evicted, None)
 
     def clear(self) -> None:
         self._exact.clear()
         self._recent_models.clear()
         self._unsat_sets.clear()
+        self._eval_cache.clear()
 
     @property
     def hits(self) -> int:

@@ -65,6 +65,10 @@ class SolverStats:
     sat_decisions: int = 0
     sat_conflicts: int = 0
     sat_propagations: int = 0
+    # Watch-list entries visited during BCP (array kernel).  The blocker
+    # optimization shows up as this falling relative to ``sat_propagations``;
+    # stays 0 under the legacy dict-of-lists kernel.
+    bcp_props: int = 0
     cost_units: int = 0
     time_total: float = 0.0
     timeouts: int = 0
@@ -92,6 +96,9 @@ class SolverStats:
     # Environment snapshots extended incrementally (vs. built from scratch).
     presolve_env_reuses: int = 0
     presolve_env_builds: int = 0
+    # Work-list pops that reused the environment's generation-tagged fact
+    # memo across pops (stays 0 with presolve batching disabled).
+    presolve_batch_rounds: int = 0
     # Incremental-tier counters (stay 0 on a fresh-blast chain).
     # ``sat_solver_runs`` counts *full blasts*: every bottom-tier query on
     # the fresh chain, but only blaster (re)builds on the incremental one.
@@ -220,6 +227,7 @@ class SolverChain:
         self.stats.cache_misses = cache.misses
         self.stats.presolve_env_reuses = self.presolve.env_reuses
         self.stats.presolve_env_builds = self.presolve.env_builds
+        self.stats.presolve_batch_rounds = self.presolve.batch_rounds
         if self.persistent is not None:
             self.stats.store_rejects = self.persistent.rejects
 
@@ -386,6 +394,7 @@ class SolverChain:
         self.stats.sat_decisions += sat.stats_decisions
         self.stats.sat_conflicts += sat.stats_conflicts
         self.stats.sat_propagations += sat.stats_propagations
+        self.stats.bcp_props += sat.stats_bcp_props
         self.stats.clauses_forgotten += sat.stats_forgotten
         self.stats.cost_units += sat.stats_decisions + sat.stats_conflicts
 
@@ -419,6 +428,7 @@ class _PersistentBlaster:
         "seen_decisions",
         "seen_conflicts",
         "seen_propagations",
+        "seen_bcp_props",
         "seen_forgotten",
     )
 
@@ -427,6 +437,7 @@ class _PersistentBlaster:
         self.seen_decisions = 0
         self.seen_conflicts = 0
         self.seen_propagations = 0
+        self.seen_bcp_props = 0
         self.seen_forgotten = 0
 
 
@@ -578,14 +589,17 @@ class IncrementalChain(SolverChain):
         d_dec = sat.stats_decisions - entry.seen_decisions
         d_con = sat.stats_conflicts - entry.seen_conflicts
         d_prop = sat.stats_propagations - entry.seen_propagations
+        d_bcp = sat.stats_bcp_props - entry.seen_bcp_props
         d_forgot = sat.stats_forgotten - entry.seen_forgotten
         entry.seen_decisions = sat.stats_decisions
         entry.seen_conflicts = sat.stats_conflicts
         entry.seen_propagations = sat.stats_propagations
+        entry.seen_bcp_props = sat.stats_bcp_props
         entry.seen_forgotten = sat.stats_forgotten
         self.stats.sat_decisions += d_dec
         self.stats.sat_conflicts += d_con
         self.stats.sat_propagations += d_prop
+        self.stats.bcp_props += d_bcp
         self.stats.clauses_forgotten += d_forgot
         self.stats.cost_units += d_dec + d_con
 

@@ -40,6 +40,7 @@ is re-emitted as a defining equality.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict, deque
 
 from ..expr import nodes as N
@@ -55,6 +56,23 @@ UNKNOWN = "unknown"
 
 class _Empty(Exception):
     """Internal: an abstract value (or the whole env) became empty."""
+
+
+# Work-list batching knob (ablation surface).  When on, each environment
+# keeps one generation-tagged fact memo across work-list pops instead of a
+# fresh dict per pop; entries are validated against the narrow-event
+# generation counter, so served values are always identical to what a fresh
+# recomputation would produce (see ``PresolveEnv.facts``).  Both settings
+# are value-exact; the knob only moves where time is spent.
+_BATCHING = os.environ.get("REPRO_PRESOLVE_BATCH", "1") != "0"
+
+
+def set_batching(on: bool) -> bool:
+    """Toggle work-list memo batching; returns the previous setting."""
+    global _BATCHING
+    old = _BATCHING
+    _BATCHING = bool(on)
+    return old
 
 
 # ---------------------------------------------------------------------------
@@ -131,6 +149,10 @@ class PresolveEnv:
         "absorbed",
         "infeasible",
         "_changed",
+        "_memo",
+        "_gen",
+        "_pop_gen",
+        "batch_rounds",
     )
 
     def __init__(self) -> None:
@@ -142,6 +164,18 @@ class PresolveEnv:
         self.absorbed: set[int] = set()
         self.infeasible = False
         self._changed: set[str] = set()
+        # Generation-tagged fact memo.  ``_gen`` counts narrow events (any
+        # write to ranges/bits/bools); every memo entry records the
+        # generation it was computed at.  Bitvector entries (key = eid) are
+        # served when computed this pop or when no narrow intervened —
+        # exactly the staleness the historical fresh-dict-per-pop memo
+        # tolerated.  Boolean entries (key = ~eid) are served only when no
+        # narrow intervened, because ``bool_fact`` was historically never
+        # memoized and always saw the latest environment.
+        self._memo: dict[int, tuple[int, object]] = {}
+        self._gen = 0
+        self._pop_gen = 0
+        self.batch_rounds = 0
 
     def clone(self) -> "PresolveEnv":
         other = object.__new__(PresolveEnv)
@@ -153,6 +187,10 @@ class PresolveEnv:
         other.absorbed = set(self.absorbed)
         other.infeasible = self.infeasible
         other._changed = set()
+        other._memo = dict(self._memo)
+        other._gen = self._gen
+        other._pop_gen = self._pop_gen
+        other.batch_rounds = 0
         return other
 
     # -- absorption (the work-list fixpoint) --------------------------------
@@ -178,13 +216,20 @@ class PresolveEnv:
         queued: set[int] = {c.eid for c in fresh}
         budget = 16 + 6 * len(self.absorbed)
         pops = 0
+        shared = self._memo if _BATCHING else None
         try:
             while queue and pops < budget:
                 c = queue.popleft()
                 queued.discard(c.eid)
                 pops += 1
                 self._changed = set()
-                self._assert_bool(c, True, {})
+                self._pop_gen = self._gen
+                if shared is None:
+                    self._assert_bool(c, True, {})
+                else:
+                    if shared:
+                        self.batch_rounds += 1
+                    self._assert_bool(c, True, shared)
                 for name in self._changed:
                     for watcher in self.watch.get(name, ()):
                         if watcher.eid not in queued and watcher is not c:
@@ -208,13 +253,22 @@ class PresolveEnv:
         mask, val = self.bits.get(name, (0, 0))
         return _reduce(lo, hi, mask, val, wmask)
 
-    def facts(self, e: Expr, memo: dict[int, tuple[int, int, int, int]]) -> tuple[int, int, int, int]:
-        """Fused (lo, hi, mask, val) facts for a bitvector expression."""
+    def facts(self, e: Expr, memo: dict[int, tuple[int, object]]) -> tuple[int, int, int, int]:
+        """Fused (lo, hi, mask, val) facts for a bitvector expression.
+
+        Entries are generation-tagged: a hit is served when the entry was
+        computed during the current work-list pop (``gen >= _pop_gen`` —
+        the within-pop staleness the historical per-pop memo tolerated) or
+        when no narrow event intervened since (``gen == _gen`` — the value
+        a recomputation would reproduce bit-for-bit).
+        """
         hit = memo.get(e.eid)
         if hit is not None:
-            return hit
+            g = hit[0]
+            if g == self._gen or g >= self._pop_gen:
+                return hit[1]
         out = self._facts_inner(e, memo)
-        memo[e.eid] = out
+        memo[e.eid] = (self._gen, out)
         return out
 
     def _facts_inner(self, e: Expr, memo) -> tuple[int, int, int, int]:
@@ -382,12 +436,28 @@ class PresolveEnv:
         return full
 
     def bool_fact(self, e: Expr, memo) -> bool | None:
-        """Known truth value of a boolean expression, or None."""
+        """Known truth value of a boolean expression, or None.
+
+        Composite results are memoized under key ``~eid`` (disjoint from
+        the bitvector keyspace) with *strict* generation validity: a hit is
+        served only when no narrow event intervened since it was computed,
+        so the served value is always identical to a fresh recomputation.
+        """
         kind = e.kind
         if kind == N.CONST:
             return bool(e.value)
         if kind == N.VAR:
             return self.bools.get(e.name)
+        key = ~e.eid
+        hit = memo.get(key)
+        if hit is not None and hit[0] == self._gen:
+            return hit[1]
+        out = self._bool_fact_inner(e, memo)
+        memo[key] = (self._gen, out)
+        return out
+
+    def _bool_fact_inner(self, e: Expr, memo) -> bool | None:
+        kind = e.kind
         ch = e.children
         if kind == N.NOT:
             inner = self.bool_fact(ch[0], memo)
@@ -484,6 +554,7 @@ class PresolveEnv:
             self.ranges[name] = (new_lo, new_hi)
             self.bits[name] = (new_m, new_v)
             self._changed.add(name)
+            self._gen += 1
 
     def _refine(self, e: Expr, lo: int, hi: int, memo) -> None:
         """Constrain a bitvector expression's value into [lo, hi]."""
@@ -657,6 +728,7 @@ class PresolveEnv:
             if known is None:
                 self.bools[e.name] = truth
                 self._changed.add(e.name)
+                self._gen += 1
             elif known != truth:
                 raise _Empty
             return
@@ -763,7 +835,7 @@ class PresolveEnv:
         """Decide a group whose constraints have all been absorbed."""
         if self.infeasible:
             return UNSAT, None
-        memo: dict[int, tuple[int, int, int, int]] = {}
+        memo: dict[int, tuple[int, object]] = {}
         try:
             for c in group:
                 if self.bool_fact(c, memo) is False:
@@ -849,7 +921,7 @@ class PresolveManager:
     MAX_SIGNATURES = 128
     SNAPSHOTS_PER_SIG = 4
 
-    __slots__ = ("_sigs", "env_reuses", "env_builds")
+    __slots__ = ("_sigs", "env_reuses", "env_builds", "batch_rounds")
 
     def __init__(self) -> None:
         self._sigs: OrderedDict[
@@ -858,6 +930,7 @@ class PresolveManager:
         ] = OrderedDict()
         self.env_reuses = 0
         self.env_builds = 0
+        self.batch_rounds = 0
 
     def check_group(
         self, group: list[Expr], sig: frozenset[str] | None = None
@@ -886,6 +959,8 @@ class PresolveManager:
             env.absorb(group)
             self.env_builds += 1
         verdict, model = env.decide(group)
+        self.batch_rounds += env.batch_rounds
+        env.batch_rounds = 0
         if snaps is None:
             snaps = []
             self._sigs[sig] = snaps
@@ -1036,5 +1111,6 @@ __all__ = [
     "group_signature",
     "one_shot_check",
     "rewrite_stats",
+    "set_batching",
     "simplify_group",
 ]

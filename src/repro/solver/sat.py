@@ -16,9 +16,31 @@ stream of related path-condition queries without re-encoding anything.
 
 Literals are non-zero Python ints: ``+v`` is the positive literal of
 variable ``v`` (1-based), ``-v`` its negation.
+
+Two kernels implement the identical search:
+
+* :class:`CDCLSolver` — the array kernel.  Watch lists live in one flat
+  preallocated list indexed ``lit + cap`` (grown by doubling in
+  :meth:`CDCLSolver._grow_to`, so ``new_var`` never touches a dict), each
+  watch entry carries a *blocker* literal whose truth lets the propagator
+  skip the clause without normalizing it, assignment reads are inlined
+  int compares, and decisions come from a lazy VSIDS max-heap instead of
+  a linear scan.
+* :class:`LegacyCDCLSolver` — the original dict-of-lists implementation,
+  kept verbatim as the ablation baseline.
+
+Both kernels make bit-for-bit identical decisions, propagations and
+conflicts: the blocker shortcut fires only when the blocker *is* the
+clause's current other watch (so it is exactly the legacy "first watch
+already true" keep), and the heap pops ``(max activity, min var)`` which
+is exactly the legacy linear scan's first-maximum tie-break.  Select the
+kernel with :func:`set_kernel` or ``REPRO_SAT_KERNEL=legacy``.
 """
 
 from __future__ import annotations
+
+import heapq
+import os
 
 UNASSIGNED = -1
 
@@ -55,15 +77,39 @@ class CDCLSolver:
         assert s.value(b) is True
     """
 
+    #: Initial watch-table capacity (variables); doubled on demand.
+    _INITIAL_CAP = 256
+
     def __init__(self, max_learned: int | None = 4000) -> None:
         self.num_vars = 0
         self.clauses: list[list[int]] = []
-        self.watches: dict[int, list[int]] = {}
+        # Flat watch table: the list for literal ``lit`` lives at index
+        # ``lit + _cap``.  Entries are ``(clause_index, blocker)`` pairs;
+        # the blocker is the clause's other watched literal as of the
+        # entry's last refresh, so a true blocker that still matches the
+        # other watch proves the clause satisfied without normalizing it.
+        # Binary clauses store ``-clause_index - 1`` instead: their
+        # blocker *is* the other watch forever (a watch only moves on
+        # clauses with a third literal), so the propagator decides them
+        # from the entry alone — no clause fetch on the satisfied path.
+        self._cap = self._INITIAL_CAP
+        self.watches: list[list[tuple[int, int]]] = [
+            [] for _ in range(2 * self._cap + 1)
+        ]
         self.assign: list[int] = [UNASSIGNED]  # index 0 unused
         self.level: list[int] = [0]
         self.reason: list[int | None] = [None]
         self.activity: list[float] = [0.0]
         self.phase: list[bool] = [False]
+        # Lazy VSIDS order: a min-heap of ``(-activity, var)``.  Every
+        # unassigned variable always has an entry carrying its *current*
+        # activity (pushed on new_var / bump / backtrack-unassign; rebuilt
+        # wholesale on rescale); stale entries are discarded at pop time.
+        # ``_in_order[v]`` tracks whether the heap already holds var v's
+        # current-activity entry, so re-unassigning an untouched variable
+        # costs no heap push.  At most one current entry exists per var.
+        self._order: list[tuple[float, int]] = []
+        self._in_order: list[bool] = [False]
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
         self.prop_head = 0
@@ -90,6 +136,9 @@ class CDCLSolver:
         self.stats_restarts = 0
         self.stats_forgotten = 0
         self.stats_reductions = 0
+        # Watched-clause visits during BCP — the unit of propagation work
+        # the watch/blocker machinery exists to minimize.
+        self.stats_bcp_props = 0
         # After an UNSAT-under-assumptions answer: the subset of the
         # assumption literals that already forces the conflict (the
         # *assumption core*).  None after SAT answers and after root-level
@@ -98,17 +147,44 @@ class CDCLSolver:
 
     # -- problem construction ------------------------------------------------
 
+    def _grow_to(self, nvars: int) -> None:
+        """Preallocate per-variable structures for variables ``1..nvars``.
+
+        The watch table doubles so a burst of ``new_var`` calls (a fresh
+        bit-blast encodes thousands of gate variables) costs amortized
+        O(1) per variable with no per-variable dict inserts.
+        """
+        if nvars > self._cap:
+            new_cap = self._cap
+            while nvars > new_cap:
+                new_cap *= 2
+            old, old_cap = self.watches, self._cap
+            new: list[list[tuple[int, int]]] = [[] for _ in range(2 * new_cap + 1)]
+            for v in range(1, len(self.assign)):  # vars allocated so far
+                new[new_cap + v] = old[old_cap + v]
+                new[new_cap - v] = old[old_cap - v]
+            self.watches = new
+            self._cap = new_cap
+        append_assign = self.assign.append
+        append_level = self.level.append
+        append_reason = self.reason.append
+        append_act = self.activity.append
+        append_phase = self.phase.append
+        append_in_order = self._in_order.append
+        order = self._order
+        for v in range(len(self.assign), nvars + 1):
+            append_assign(UNASSIGNED)
+            append_level(0)
+            append_reason(None)
+            append_act(0.0)
+            append_phase(False)
+            append_in_order(True)
+            heapq.heappush(order, (0.0, v))
+
     def new_var(self) -> int:
         self.num_vars += 1
-        self.assign.append(UNASSIGNED)
-        self.level.append(0)
-        self.reason.append(None)
-        self.activity.append(0.0)
-        self.phase.append(False)
-        v = self.num_vars
-        self.watches[v] = []
-        self.watches[-v] = []
-        return v
+        self._grow_to(self.num_vars)
+        return self.num_vars
 
     def add_clause(self, lits: list[int]) -> bool:
         """Add a clause; returns False if the formula became trivially UNSAT.
@@ -121,6 +197,8 @@ class CDCLSolver:
             return False
         if self.trail_lim:
             self._backtrack(0)
+        assign = self.assign
+        level = self.level
         seen: set[int] = set()
         out: list[int] = []
         for lit in lits:
@@ -128,10 +206,11 @@ class CDCLSolver:
                 return True  # tautology
             if lit in seen:
                 continue
-            val = self._lit_value(lit)
-            if val is True and self.level[abs(lit)] == 0:
-                return True  # already satisfied at root
-            if val is False and self.level[abs(lit)] == 0:
+            var = lit if lit > 0 else -lit
+            val = assign[var]
+            if val != UNASSIGNED and level[var] == 0:
+                if (val == 1) == (lit > 0):
+                    return True  # already satisfied at root
                 continue  # falsified at root: drop literal
             seen.add(lit)
             out.append(lit)
@@ -157,8 +236,10 @@ class CDCLSolver:
         self.clause_act.append(self.cla_inc if learnt else 0.0)
         if learnt:
             self.num_learned += 1
-        self.watches[lits[0]].append(idx)
-        self.watches[lits[1]].append(idx)
+        cap = self._cap
+        eci = -idx - 1 if len(lits) == 2 else idx
+        self.watches[lits[0] + cap].append((eci, lits[1]))
+        self.watches[lits[1] + cap].append((eci, lits[0]))
         return idx
 
     # -- assignment helpers ---------------------------------------------------
@@ -188,55 +269,171 @@ class CDCLSolver:
     # -- BCP with two watched literals ----------------------------------------
 
     def _propagate(self) -> int | None:
-        """Propagate; returns a conflicting clause index or None."""
-        while self.prop_head < len(self.trail):
-            lit = self.trail[self.prop_head]
-            self.prop_head += 1
-            self.stats_propagations += 1
+        """Propagate; returns a conflicting clause index or None.
+
+        Hot loop: everything is inlined int arithmetic on the flat
+        arrays.  Kept watch entries are compacted in place (write index
+        chasing the read index) instead of building a fresh list, and a
+        true blocker that still matches the clause's other watch skips
+        the clause outright — behaviorally identical to the legacy
+        kernel's "first watch already true" keep.
+        """
+        clauses = self.clauses
+        watches = self.watches
+        assign = self.assign
+        level = self.level
+        reason = self.reason
+        trail = self.trail
+        cap = self._cap
+        cur_level = len(self.trail_lim)
+        head = self.prop_head
+        pops = 0
+        visits = 0
+        while head < len(trail):
+            lit = trail[head]
+            head += 1
+            pops += 1
             falsified = -lit
-            watch_list = self.watches[falsified]
-            new_list: list[int] = []
-            i = 0
-            n = len(watch_list)
-            while i < n:
-                ci = watch_list[i]
-                i += 1
-                clause = self.clauses[ci]
+            wl = watches[falsified + cap]
+            n = len(wl)
+            if not n:
+                continue
+            read = 0
+            write = 0
+            while read < n:
+                entry = wl[read]
+                read += 1
+                visits += 1
+                ci = entry[0]
+                blocker = entry[1]
+                if blocker > 0:
+                    bval = assign[blocker]
+                    b_true = bval == 1
+                    b_false = bval == 0
+                else:
+                    bval = assign[-blocker]
+                    b_true = bval == 0
+                    b_false = bval == 1
+                if ci < 0:
+                    # Binary clause: the blocker is exactly the other
+                    # watched literal, so the entry decides the clause.
+                    if b_true:
+                        wl[write] = entry
+                        write += 1
+                        continue
+                    ci = -ci - 1
+                    clause = clauses[ci]
+                    # Normalize for conflict analysis / reason reads.
+                    if clause[0] == falsified:
+                        clause[0] = blocker
+                        clause[1] = falsified
+                    wl[write] = entry
+                    write += 1
+                    if b_false:
+                        # Conflict: keep remaining watches, report.
+                        wl[write:] = wl[read:n]
+                        self.prop_head = head
+                        self.stats_propagations += pops
+                        self.stats_bcp_props += visits
+                        return ci
+                    # Unit: enqueue the blocker.
+                    if blocker > 0:
+                        assign[blocker] = 1
+                        level[blocker] = cur_level
+                        reason[blocker] = ci
+                    else:
+                        var = -blocker
+                        assign[var] = 0
+                        level[var] = cur_level
+                        reason[var] = ci
+                    trail.append(blocker)
+                    continue
+                clause = clauses[ci]
+                c0 = clause[0]
+                first = clause[1] if c0 == falsified else c0
+                if b_true and first == blocker:
+                    wl[write] = entry
+                    write += 1
+                    continue
                 # Ensure the falsified literal is at position 1.
-                if clause[0] == falsified:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._lit_value(first) is True:
-                    new_list.append(ci)
+                if c0 == falsified:
+                    clause[0] = first
+                    clause[1] = falsified
+                if first > 0:
+                    fval = assign[first]
+                    f_true = fval == 1
+                    f_false = fval == 0
+                else:
+                    fval = assign[-first]
+                    f_true = fval == 0
+                    f_false = fval == 1
+                if f_true:
+                    wl[write] = (ci, first)
+                    write += 1
                     continue
                 # Look for a new literal to watch.
                 moved = False
                 for k in range(2, len(clause)):
-                    if self._lit_value(clause[k]) is not False:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self.watches[clause[1]].append(ci)
+                    q = clause[k]
+                    if q > 0:
+                        q_false = assign[q] == 0
+                    else:
+                        q_false = assign[-q] == 1
+                    if not q_false:
+                        clause[1] = q
+                        clause[k] = falsified
+                        watches[q + cap].append((ci, first))
                         moved = True
                         break
                 if moved:
                     continue
-                new_list.append(ci)
-                if self._lit_value(first) is False:
+                wl[write] = (ci, first)
+                write += 1
+                if f_false:
                     # Conflict: keep remaining watches, report.
-                    new_list.extend(watch_list[i:n])
-                    self.watches[falsified] = new_list
+                    wl[write:] = wl[read:n]
+                    self.prop_head = head
+                    self.stats_propagations += pops
+                    self.stats_bcp_props += visits
                     return ci
-                self._enqueue(first, ci)
-            self.watches[falsified] = new_list
+                # Unit: enqueue ``first`` (inlined _enqueue on unassigned).
+                if first > 0:
+                    assign[first] = 1
+                    level[first] = cur_level
+                    reason[first] = ci
+                else:
+                    var = -first
+                    assign[var] = 0
+                    level[var] = cur_level
+                    reason[var] = ci
+                trail.append(first)
+            del wl[write:n]
+        self.prop_head = head
+        self.stats_propagations += pops
+        self.stats_bcp_props += visits
         return None
 
     # -- conflict analysis ------------------------------------------------------
 
     def _bump(self, var: int) -> None:
-        self.activity[var] += self.var_inc
-        if self.activity[var] > 1e100:
+        act = self.activity[var] + self.var_inc
+        self.activity[var] = act
+        if act > 1e100:
+            activity = self.activity
             for v in range(1, self.num_vars + 1):
-                self.activity[v] *= 1e-100
+                activity[v] *= 1e-100
             self.var_inc *= 1e-100
+            # Every heap entry's cached activity just went stale at once:
+            # rebuild with current values (assigned vars are filtered
+            # lazily at pop time, as always).
+            self._order = [(-activity[v], v) for v in range(1, self.num_vars + 1)]
+            heapq.heapify(self._order)
+            self._in_order = [True] * (self.num_vars + 1)
+        else:
+            # The activity changed, so any older entry is now stale; this
+            # fresh push is the var's unique current entry.
+            heapq.heappush(self._order, (-act, var))
+            self._in_order[var] = True
 
     def _cla_bump(self, ci: int) -> None:
         if not self.clause_learnt[ci]:
@@ -295,15 +492,26 @@ class CDCLSolver:
         return learned, self.level[abs(learned[1])]
 
     def _backtrack(self, target_level: int) -> None:
+        order = self._order
+        activity = self.activity
+        assign = self.assign
+        phase = self.phase
+        reason = self.reason
+        trail = self.trail
+        in_order = self._in_order
+        heappush = heapq.heappush
         while len(self.trail_lim) > target_level:
             bound = self.trail_lim.pop()
-            while len(self.trail) > bound:
-                lit = self.trail.pop()
-                var = abs(lit)
-                self.phase[var] = self.assign[var] == 1
-                self.assign[var] = UNASSIGNED
-                self.reason[var] = None
-        self.prop_head = min(self.prop_head, len(self.trail))
+            while len(trail) > bound:
+                lit = trail.pop()
+                var = lit if lit > 0 else -lit
+                phase[var] = assign[var] == 1
+                assign[var] = UNASSIGNED
+                reason[var] = None
+                if not in_order[var]:
+                    heappush(order, (-activity[var], var))
+                    in_order[var] = True
+        self.prop_head = min(self.prop_head, len(trail))
 
     # -- clause-database reduction --------------------------------------------
 
@@ -355,11 +563,16 @@ class CDCLSolver:
         # Watched literals live at positions 0/1 of every clause (the
         # propagation loop maintains that), so rebuilding the watch lists
         # from those positions reproduces the watch structure exactly.
-        for key in self.watches:
-            self.watches[key].clear()
+        # Blockers are refreshed to the current other watch — blockers
+        # only gate the skip heuristic, never the verdict.
+        for wl in self.watches:
+            if wl:
+                wl.clear()
+        cap = self._cap
         for nc, clause in enumerate(clauses):
-            self.watches[clause[0]].append(nc)
-            self.watches[clause[1]].append(nc)
+            eci = -nc - 1 if len(clause) == 2 else nc
+            self.watches[clause[0] + cap].append((eci, clause[1]))
+            self.watches[clause[1] + cap].append((eci, clause[0]))
         for v in range(1, self.num_vars + 1):
             r = self.reason[v]
             if r is not None:
@@ -402,15 +615,29 @@ class CDCLSolver:
     # -- decisions -----------------------------------------------------------
 
     def _decide(self) -> int | None:
-        best_var = 0
-        best_act = -1.0
-        for v in range(1, self.num_vars + 1):
-            if self.assign[v] == UNASSIGNED and self.activity[v] > best_act:
-                best_var = v
-                best_act = self.activity[v]
-        if best_var == 0:
-            return None
-        return best_var if self.phase[best_var] else -best_var
+        """Pop the unassigned variable of maximum activity (min index on ties).
+
+        Heap entries are ``(-activity, var)``; an entry is valid iff the
+        variable is unassigned and the cached activity is current.  The
+        ordering reproduces the legacy linear scan exactly: the scan kept
+        the first strict maximum in index order, and the heap pops
+        ``(max activity, min var)``.
+        """
+        order = self._order
+        assign = self.assign
+        activity = self.activity
+        in_order = self._in_order
+        heappop = heapq.heappop
+        while order:
+            neg_act, v = order[0]
+            if activity[v] == -neg_act:
+                if assign[v] == UNASSIGNED:
+                    return v if self.phase[v] else -v
+                # Current entry of an assigned var: popping removes the
+                # var's only current entry.
+                in_order[v] = False
+            heappop(order)
+        return None
 
     # -- main loop -----------------------------------------------------------
 
@@ -507,3 +734,252 @@ class CDCLSolver:
                 self.stats_decisions += 1
                 self.trail_lim.append(len(self.trail))
                 self._enqueue(decision, None)
+
+
+class LegacyCDCLSolver:
+    """The original dict-of-lists CDCL kernel, kept as the ablation baseline.
+
+    Search-identical to :class:`CDCLSolver` (same decisions, propagation
+    order, conflicts, learned clauses and models); only the data layout
+    differs.  Selected with ``set_kernel("legacy")`` or
+    ``REPRO_SAT_KERNEL=legacy``.
+    """
+
+    def __init__(self, max_learned: int | None = 4000) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: dict[int, list[int]] = {}
+        self.assign: list[int] = [UNASSIGNED]  # index 0 unused
+        self.level: list[int] = [0]
+        self.reason: list[int | None] = [None]
+        self.activity: list[float] = [0.0]
+        self.phase: list[bool] = [False]
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.prop_head = 0
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.ok = True
+        self.clause_learnt: list[bool] = []
+        self.clause_act: list[float] = []
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.num_learned = 0
+        self.max_learned = max_learned
+        self.reduce_growth = 1.2
+        self.stats_decisions = 0
+        self.stats_propagations = 0
+        self.stats_conflicts = 0
+        self.stats_learned = 0
+        self.stats_restarts = 0
+        self.stats_forgotten = 0
+        self.stats_reductions = 0
+        # This kernel predates per-visit accounting; stays 0 so the
+        # chain's delta bookkeeping works unchanged on either kernel.
+        self.stats_bcp_props = 0
+        self.last_core: list[int] | None = None
+
+    # -- problem construction ------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(UNASSIGNED)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        v = self.num_vars
+        self.watches[v] = []
+        self.watches[-v] = []
+        return v
+
+    add_clause = CDCLSolver.add_clause
+
+    def _attach_clause(self, lits: list[int], learnt: bool) -> int:
+        idx = len(self.clauses)
+        self.clauses.append(lits)
+        self.clause_learnt.append(learnt)
+        self.clause_act.append(self.cla_inc if learnt else 0.0)
+        if learnt:
+            self.num_learned += 1
+        self.watches[lits[0]].append(idx)
+        self.watches[lits[1]].append(idx)
+        return idx
+
+    # -- assignment helpers ---------------------------------------------------
+
+    _lit_value = CDCLSolver._lit_value
+    value = CDCLSolver.value
+    _enqueue = CDCLSolver._enqueue
+
+    # -- BCP with two watched literals ----------------------------------------
+
+    def _propagate(self) -> int | None:
+        """Propagate; returns a conflicting clause index or None."""
+        while self.prop_head < len(self.trail):
+            lit = self.trail[self.prop_head]
+            self.prop_head += 1
+            self.stats_propagations += 1
+            falsified = -lit
+            watch_list = self.watches[falsified]
+            new_list: list[int] = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                ci = watch_list[i]
+                i += 1
+                clause = self.clauses[ci]
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    new_list.append(ci)
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1]].append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_list.append(ci)
+                if self._lit_value(first) is False:
+                    # Conflict: keep remaining watches, report.
+                    new_list.extend(watch_list[i:n])
+                    self.watches[falsified] = new_list
+                    return ci
+                self._enqueue(first, ci)
+            self.watches[falsified] = new_list
+        return None
+
+    # -- conflict analysis ------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    _cla_bump = CDCLSolver._cla_bump
+    _analyze = CDCLSolver._analyze
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            bound = self.trail_lim.pop()
+            while len(self.trail) > bound:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.phase[var] = self.assign[var] == 1
+                self.assign[var] = UNASSIGNED
+                self.reason[var] = None
+        self.prop_head = min(self.prop_head, len(self.trail))
+
+    # -- clause-database reduction --------------------------------------------
+
+    _maybe_reduce = CDCLSolver._maybe_reduce
+
+    def reduce_db(self) -> int:
+        """Forget the least-active half of the learned clauses.
+
+        See :meth:`CDCLSolver.reduce_db`; identical policy on the dict
+        watch layout.
+        """
+        if self.trail_lim:
+            raise RuntimeError("reduce_db requires root level")
+        locked = {
+            ci for ci in (self.reason[abs(lit)] for lit in self.trail) if ci is not None
+        }
+        candidates = [
+            ci
+            for ci in range(len(self.clauses))
+            if self.clause_learnt[ci] and ci not in locked and len(self.clauses[ci]) > 2
+        ]
+        candidates.sort(key=lambda ci: self.clause_act[ci])
+        doomed = set(candidates[: len(candidates) // 2])
+        if not doomed:
+            return 0
+        mapping: dict[int, int] = {}
+        clauses: list[list[int]] = []
+        learnt: list[bool] = []
+        act: list[float] = []
+        for ci, clause in enumerate(self.clauses):
+            if ci in doomed:
+                continue
+            mapping[ci] = len(clauses)
+            clauses.append(clause)
+            learnt.append(self.clause_learnt[ci])
+            act.append(self.clause_act[ci])
+        self.clauses = clauses
+        self.clause_learnt = learnt
+        self.clause_act = act
+        # Watched literals live at positions 0/1 of every clause (the
+        # propagation loop maintains that), so rebuilding the watch lists
+        # from those positions reproduces the watch structure exactly.
+        for key in self.watches:
+            self.watches[key].clear()
+        for nc, clause in enumerate(clauses):
+            self.watches[clause[0]].append(nc)
+            self.watches[clause[1]].append(nc)
+        for v in range(1, self.num_vars + 1):
+            r = self.reason[v]
+            if r is not None:
+                self.reason[v] = mapping[r]
+        forgotten = len(doomed)
+        self.num_learned -= forgotten
+        self.stats_forgotten += forgotten
+        self.stats_reductions += 1
+        return forgotten
+
+    # -- assumption-core extraction (MiniSat's analyzeFinal) -------------------
+
+    _analyze_final = CDCLSolver._analyze_final
+
+    # -- decisions -----------------------------------------------------------
+
+    def _decide(self) -> int | None:
+        best_var = 0
+        best_act = -1.0
+        for v in range(1, self.num_vars + 1):
+            if self.assign[v] == UNASSIGNED and self.activity[v] > best_act:
+                best_var = v
+                best_act = self.activity[v]
+        if best_var == 0:
+            return None
+        return best_var if self.phase[best_var] else -best_var
+
+    # -- main loop -----------------------------------------------------------
+
+    solve = CDCLSolver.solve
+
+
+# -- kernel selection ----------------------------------------------------------
+
+_KERNELS: dict[str, type] = {
+    "array": CDCLSolver,
+    "legacy": LegacyCDCLSolver,
+}
+
+#: Active kernel name; the bit-blaster constructs through :func:`make_solver`.
+ACTIVE_KERNEL = os.environ.get("REPRO_SAT_KERNEL", "array")
+if ACTIVE_KERNEL not in _KERNELS:  # pragma: no cover - env guard
+    ACTIVE_KERNEL = "array"
+
+
+def set_kernel(name: str) -> str:
+    """Select the CDCL kernel (``"array"`` or ``"legacy"``); returns the old."""
+    if name not in _KERNELS:
+        raise ValueError(f"unknown SAT kernel {name!r}")
+    global ACTIVE_KERNEL
+    old = ACTIVE_KERNEL
+    ACTIVE_KERNEL = name
+    return old
+
+
+def make_solver(max_learned: int | None = 4000):
+    """Construct a solver of the active kernel (the bit-blaster's hook)."""
+    return _KERNELS[ACTIVE_KERNEL](max_learned=max_learned)
